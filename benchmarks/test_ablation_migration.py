@@ -1,0 +1,49 @@
+"""Ablation: migration aggressiveness in the 3D scheme.
+
+DESIGN.md calls out the migration trigger threshold as a design choice:
+lower thresholds migrate more eagerly (more network traffic and power —
+the data movements the paper wants to avoid), higher thresholds approach
+the static scheme.  This bench sweeps the threshold and checks the
+latency/traffic trade-off is monotone on both ends.
+"""
+
+from repro.core.schemes import Scheme
+from repro.core.system import NetworkInMemory, SystemConfig
+from repro.workloads.generator import SyntheticWorkload
+
+REFS = 25_000
+WARMUP = 8 * REFS * 6 // 10
+
+
+def run_threshold_sweep():
+    results = {}
+    for threshold in (1, 3, 10**9):
+        system = NetworkInMemory(
+            SystemConfig(
+                scheme=Scheme.CMP_DNUCA_3D, migration_threshold=threshold
+            )
+        )
+        workload = SyntheticWorkload("swim", refs_per_cpu=REFS)
+        results[threshold] = system.run_trace(
+            workload.traces(), warmup_events=WARMUP
+        )
+    return results
+
+
+def test_ablation_migration_threshold(once):
+    results = once(run_threshold_sweep)
+    eager, default, never = results[1], results[3], results[10**9]
+
+    # Migration volume is monotone in the trigger threshold.
+    assert eager.migrations > default.migrations > never.migrations
+    assert never.migrations == 0
+
+    # Both migrating configurations beat the effectively-static one.
+    assert eager.avg_l2_hit_latency < never.avg_l2_hit_latency
+    assert default.avg_l2_hit_latency < never.avg_l2_hit_latency
+
+    # The paper's power argument: migration aggressiveness directly
+    # multiplies data movements (each move is two line transfers), while
+    # the latency return diminishes — the trade-off Section 4.2.3's lazy,
+    # conservative policy navigates.
+    assert eager.migrations > 2 * default.migrations

@@ -1,0 +1,69 @@
+"""Ablation (extension): migration vs replication on the 3D substrate.
+
+The paper picked migration; NuRapid/victim-replication picked copies.
+This bench runs both families over the same 3D chip and functional
+workload-independent scenario: repeated remote reads with occasional
+writes, checking each policy's characteristic signature — migration moves
+the sole copy stepwise; replication serves reads locally at the cost of
+write-time invalidations.
+"""
+
+from repro.core.chip import ChipConfig
+from repro.core.placement import build_topology
+from repro.cache.nuca import AccessType, NucaL2
+from repro.cache.migration import MigrationConfig
+from repro.cache.replication import ReplicatingNucaL2
+
+
+def run_policies():
+    topology = build_topology(ChipConfig())
+    migrating = NucaL2(
+        topology, MigrationConfig(enabled=True, trigger_threshold=2)
+    )
+    replicating = ReplicatingNucaL2(build_topology(ChipConfig()))
+    results = {}
+    for label, nuca in (("migration", migrating),
+                        ("replication", replicating)):
+        remote = nuca.search.plan(0).step2[0]
+        addresses = [nuca.addr_map.compose(remote, i) for i in range(64)]
+        cycle = 0.0
+        local_hits = 0
+        for sweep in range(8):
+            for address in addresses:
+                outcome = nuca.access(0, address, AccessType.READ, cycle)
+                cycle += 25.0
+                if (
+                    outcome.hit
+                    and outcome.cluster
+                    == nuca.search.plan(0).local_cluster
+                ):
+                    local_hits += 1
+        # A burst of writes from another CPU.
+        for address in addresses[:16]:
+            nuca.access(1, address, AccessType.WRITE, cycle)
+            cycle += 25.0
+        results[label] = {
+            "local_hits": local_hits,
+            "migrations": nuca.migrations,
+            "replica_invals": nuca.stats.counter(
+                "l2.replica_invalidations"
+            ).value,
+        }
+    return results
+
+
+def test_ablation_replication(once):
+    results = once(run_policies)
+    migration = results["migration"]
+    replication = results["replication"]
+
+    # Each family shows its signature.
+    assert migration["migrations"] > 0
+    assert replication["migrations"] == 0
+    assert replication["local_hits"] > 0
+    assert replication["replica_invals"] > 0
+    assert migration["replica_invals"] == 0
+
+    # Replication localizes single-reader reads at least as fast as
+    # stepwise migration does (one install vs several one-cluster moves).
+    assert replication["local_hits"] >= migration["local_hits"]

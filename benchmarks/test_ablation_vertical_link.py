@@ -1,0 +1,75 @@
+"""Ablation: dTDMA bus pillars vs a 7-port 3D-mesh vertical link.
+
+The paper eliminated the 7-port router in its design search: multi-hop
+vertical traversal and a bigger crossbar would erase the benefit of the
+tiny inter-layer distance.  The dTDMA bus is single-hop between *any* two
+layers, so its crossing cost is constant in the layer count, while a
+vertical mesh pays one full hop (router + wire latency) per layer crossed.
+"""
+
+from repro.core.chip import ChipConfig
+from repro.core.placement import build_topology
+from repro.core.latency_model import LatencyModel, LatencyModelConfig
+from repro.noc.routing import Coord
+
+
+def crossing_cost_bus(model: LatencyModel, layers_crossed: int) -> float:
+    """dTDMA pillar: constant single-hop crossing."""
+    return model.config.bus_overhead
+
+
+def crossing_cost_router(model: LatencyModel, layers_crossed: int) -> float:
+    """7-port 3D mesh: one router+link hop per layer crossed."""
+    return model.config.hop_cycles * layers_crossed
+
+
+def run_comparison() -> dict[int, tuple[float, float]]:
+    topology = build_topology(ChipConfig(num_layers=4))
+    model = LatencyModel(topology, LatencyModelConfig())
+    results = {}
+    for layers_crossed in (1, 2, 3):
+        results[layers_crossed] = (
+            crossing_cost_bus(model, layers_crossed),
+            crossing_cost_router(model, layers_crossed),
+        )
+    return results
+
+
+def test_ablation_vertical_link(once):
+    results = once(run_comparison)
+    # Single layer crossing: comparable cost either way.
+    bus_1, router_1 = results[1]
+    assert bus_1 <= router_1 + 1
+    # Multi-layer crossings: the bus's single-hop property wins and the
+    # gap grows with distance — the reason the paper rejects the 7-port
+    # router for the vertical dimension.
+    for layers_crossed in (2, 3):
+        bus, router = results[layers_crossed]
+        assert bus < router
+    assert results[3][1] - results[3][0] > results[2][1] - results[2][0]
+
+
+def test_ablation_bus_contention_bound(once):
+    """The flip side: the shared bus saturates with enough clients; the
+    paper bounds the dTDMA's advantage at <9 layers.  Measured on the
+    real fabric: a fully loaded pillar serves exactly one flit/cycle."""
+    from repro.noc.network import Network, NetworkConfig
+
+    def run():
+        net = Network(
+            NetworkConfig(width=4, height=4, layers=4,
+                          pillar_locations=((1, 1),))
+        )
+        packets = [
+            net.send(Coord(1, 1, z), Coord(1, 1, (z + 1) % 4), size_flits=4)
+            for z in range(4)
+        ]
+        net.quiesce()
+        return net.pillars[(1, 1)], packets
+
+    bus, packets = once(run)
+    transfers = bus.stats.counter("bus.flit_transfers").value
+    busy = bus.stats.counter("bus.busy_cycles").value
+    assert transfers == 16
+    assert busy == transfers  # one flit per cycle, never more
+    assert all(p.ejected_cycle is not None for p in packets)

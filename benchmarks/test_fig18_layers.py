@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 18 (L2 latency vs layer count)."""
+
+from repro.experiments import fig18
+from repro.experiments.config import QUICK
+
+SUBSET = ("art", "swim")
+
+
+def test_fig18_layer_count(once):
+    results = once(fig18.run, benchmarks=SUBSET, scale=QUICK)
+    for benchmark, row in results.items():
+        # More layers shrink in-plane distances: latency drops.
+        assert row[4] < row[2], benchmark
+        # Paper: 3-8 cycles saved moving from 2 to 4 layers.
+        saved = row[2] - row[4]
+        assert 1.0 < saved < 35.0, (benchmark, saved)

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 1 (dTDMA component area/power vs NoC router)."""
+
+from repro.experiments import table1
+from repro.models.components import (
+    DTDMA_ARBITER,
+    DTDMA_RX_TX,
+    NOC_ROUTER_5PORT,
+)
+
+
+def test_table1_components(once):
+    rows = once(table1.run)
+    assert len(rows) == 3
+    by_name = {name: (power, area) for name, power, area in rows}
+    router_power, router_area = by_name[NOC_ROUTER_5PORT.name]
+    # Paper's point: bus hardware is orders of magnitude below the router.
+    for spec in (DTDMA_RX_TX, DTDMA_ARBITER):
+        power, area = by_name[spec.name]
+        assert power < router_power / 100
+        assert area < router_area / 100
+    assert router_power == 0.11955
+    assert router_area == 0.3748

@@ -1,0 +1,41 @@
+"""Bench: regenerate Table 3 (thermal profiles of CPU placements)."""
+
+import pytest
+
+from repro.experiments import table3
+
+
+def test_table3_thermal(once):
+    results = once(table3.run)
+    profiles = {case.label: profile for case, profile in results}
+
+    # Peak-temperature ordering across the 2-layer placements.
+    assert (
+        profiles["2D, maximal offset"].peak_c
+        < profiles["3D-2L, offset k=1"].peak_c
+        < profiles["3D-2L, CPU stacking"].peak_c
+    )
+    assert (
+        profiles["3D-2L, offset k=2"].peak_c
+        < profiles["3D-2L, offset k=1"].peak_c
+    )
+    assert (
+        profiles["3D-4L, optimal offset"].peak_c
+        < profiles["3D-4L, CPU stacking"].peak_c
+    )
+
+    # Averages depend on layer count only (same power, same footprint).
+    two_layer = [p for c, p in results if "2L" in c.label]
+    assert max(p.avg_c for p in two_layer) - min(
+        p.avg_c for p in two_layer
+    ) < 1.0
+    assert (
+        profiles["2D, maximal offset"].avg_c
+        < two_layer[0].avg_c
+        < profiles["3D-4L, optimal offset"].avg_c
+    )
+
+    # Absolute calibration against the paper, coarse band.
+    for case, profile in results:
+        assert profile.peak_c == pytest.approx(case.paper_peak, rel=0.12)
+        assert profile.avg_c == pytest.approx(case.paper_avg, rel=0.05)

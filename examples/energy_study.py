@@ -1,0 +1,47 @@
+"""Energy study: the power side of the 3D argument.
+
+The paper: migrating less and searching a bigger step-1 vicinity cuts the
+number of data movements, and therefore L2 power.  This example runs the
+2D and 3D schemes on the same workload and prints per-access energy
+breakdowns side by side.
+
+Run:  python examples/energy_study.py [benchmark]
+"""
+
+import sys
+
+from repro import NetworkInMemory, SystemConfig, Scheme
+from repro.power import compare_energy, energy_report
+from repro.workloads import SyntheticWorkload, BENCHMARK_NAMES
+
+
+def main(benchmark: str = "swim") -> None:
+    if benchmark not in BENCHMARK_NAMES:
+        raise SystemExit(f"choose a benchmark from {BENCHMARK_NAMES}")
+    runs = {}
+    for scheme in (
+        Scheme.CMP_DNUCA_2D,
+        Scheme.CMP_SNUCA_3D,
+        Scheme.CMP_DNUCA_3D,
+    ):
+        system = NetworkInMemory(SystemConfig(scheme=scheme))
+        workload = SyntheticWorkload(benchmark, refs_per_cpu=25_000)
+        stats = system.run_trace(workload.traces(), warmup_events=100_000)
+        runs[scheme.value] = (system, stats)
+        print(energy_report(system, stats))
+        print()
+
+    per_access = compare_energy(runs)
+    print("Per-L2-access on-chip energy (network + bus + tag + bank):")
+    for label, breakdown in per_access.items():
+        print(f"  {label:15s} {breakdown.l2_dynamic_j * 1e9:8.3f} nJ/access")
+    base = per_access[Scheme.CMP_DNUCA_2D.value].l2_dynamic_j
+    best = per_access[Scheme.CMP_DNUCA_3D.value].l2_dynamic_j
+    print(
+        f"\nCMP-DNUCA-3D uses {(1 - best / base) * 100:.1f}% less on-chip "
+        "L2 energy per access than CMP-DNUCA-2D on this workload."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "swim")

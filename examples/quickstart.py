@@ -1,0 +1,40 @@
+"""Quickstart: simulate the 3D Network-in-Memory CMP on one workload.
+
+Builds the paper's default system (Table 4: 8 CPUs, 16 MB L2 as 16
+clusters of 16 x 64 KB banks, 2 layers, 8 dTDMA pillars), runs the
+synthetic `swim` workload through it, and prints the headline statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NetworkInMemory, SystemConfig, Scheme
+from repro.workloads import SyntheticWorkload
+
+
+def main() -> None:
+    config = SystemConfig(scheme=Scheme.CMP_DNUCA_3D)
+    system = NetworkInMemory(config)
+
+    print("=== Chip ===")
+    print(system.topology.describe())
+
+    workload = SyntheticWorkload("swim", refs_per_cpu=30_000)
+    print("\nRunning the synthetic 'swim' workload on 8 cores ...")
+    stats = system.run_trace(workload.traces(), warmup_events=100_000)
+
+    print("\n=== Results ===")
+    print(f"L2 accesses:          {stats.l2_accesses:,}")
+    print(f"L2 hit rate:          {stats.l2_hit_rate:.1%}")
+    print(f"Avg L2 hit latency:   {stats.avg_l2_hit_latency:.1f} cycles")
+    print(f"Avg L2 miss latency:  {stats.avg_l2_miss_latency:.1f} cycles")
+    print(f"Block migrations:     {stats.migrations:,}")
+    print(f"L1 miss rate:         {stats.l1_miss_rate:.1%}")
+    print(f"Aggregate IPC:        {stats.ipc:.3f}")
+    print(f"Per-CPU IPC:          "
+          + ", ".join(f"{ipc:.2f}" for ipc in stats.per_cpu_ipc))
+    print(f"Network flit-hops:    {stats.flit_hops:,.0f}")
+    print(f"Vertical bus flits:   {stats.bus_flits:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Compare the paper's four schemes on one benchmark.
+
+A miniature of Figures 13-15: runs CMP-DNUCA (the Beckmann & Wood
+baseline with perfect search), our 2D scheme, the static 3D scheme, and
+the full 3D design on a chosen benchmark, and reports hit latency, IPC
+and migration traffic side by side.
+
+Run:  python examples/scheme_comparison.py [benchmark]
+"""
+
+import sys
+
+from repro import NetworkInMemory, SystemConfig, Scheme
+from repro.workloads import SyntheticWorkload, BENCHMARK_NAMES
+
+
+def main(benchmark: str = "swim") -> None:
+    if benchmark not in BENCHMARK_NAMES:
+        raise SystemExit(
+            f"unknown benchmark {benchmark!r}; choose from {BENCHMARK_NAMES}"
+        )
+    print(f"Benchmark: {benchmark} (synthetic SPEC OMP)\n")
+    header = (
+        f"{'scheme':15s} {'hit lat':>8s} {'IPC':>7s} "
+        f"{'migrations':>11s} {'bus flits':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+    baseline_ipc = None
+    for scheme in (
+        Scheme.CMP_DNUCA,
+        Scheme.CMP_DNUCA_2D,
+        Scheme.CMP_SNUCA_3D,
+        Scheme.CMP_DNUCA_3D,
+    ):
+        system = NetworkInMemory(SystemConfig(scheme=scheme))
+        workload = SyntheticWorkload(benchmark, refs_per_cpu=30_000)
+        stats = system.run_trace(workload.traces(), warmup_events=100_000)
+        if scheme == Scheme.CMP_DNUCA_2D:
+            baseline_ipc = stats.ipc
+        gain = (
+            f" ({(stats.ipc / baseline_ipc - 1) * 100:+.1f}% vs 2D)"
+            if baseline_ipc and scheme.is_3d
+            else ""
+        )
+        print(
+            f"{scheme.value:15s} {stats.avg_l2_hit_latency:8.1f} "
+            f"{stats.ipc:7.3f} {stats.migrations:11,} "
+            f"{stats.bus_flits:10,.0f}{gain}"
+        )
+    print(
+        "\nExpected shape (paper): the 3D schemes beat the 2D ones; "
+        "CMP-SNUCA-3D needs no migration to do so, and CMP-DNUCA-3D "
+        "combines both effects."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "swim")

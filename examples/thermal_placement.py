@@ -1,0 +1,78 @@
+"""Thermal-aware CPU placement exploration (the paper's Section 3.3).
+
+Solves the steady-state thermal profile of several CPU placements on the
+same 2-layer chip — maximal 3D offsetting, Algorithm 1 with k=1 and k=2,
+and naive vertical stacking — and renders an ASCII heat map of the
+hottest layer for the best and worst placements.
+
+Run:  python examples/thermal_placement.py
+"""
+
+import numpy as np
+
+from repro.core.chip import ChipConfig
+from repro.core.placement import PlacementPolicy, build_topology
+from repro.thermal import build_floorplan, ThermalGrid
+from repro.thermal.power import ThermalParams
+
+
+def heat_map(field: np.ndarray, layer: int) -> str:
+    """Render one layer's temperatures as an ASCII intensity map."""
+    ramp = " .:-=+*#%@"
+    sheet = field[layer]
+    low, high = field.min(), field.max()
+    rows = []
+    for row in sheet[::-1]:  # +y up
+        chars = [
+            ramp[min(int((t - low) / (high - low + 1e-9) * len(ramp)),
+                     len(ramp) - 1)]
+            for t in row
+        ]
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    cases = [
+        ("maximal 3D offset (Fig 9)",
+         ChipConfig(num_layers=2, num_pillars=8),
+         PlacementPolicy.MAXIMAL_OFFSET, 1),
+        ("Algorithm 1, k=2",
+         ChipConfig(num_layers=2, num_pillars=2),
+         PlacementPolicy.ALGORITHM1, 2),
+        ("Algorithm 1, k=1",
+         ChipConfig(num_layers=2, num_pillars=2),
+         PlacementPolicy.ALGORITHM1, 1),
+        ("CPU stacking (worst case)",
+         ChipConfig(num_layers=2, num_pillars=8),
+         PlacementPolicy.STACKED, 1),
+    ]
+    solved = []
+    for label, config, placement, k in cases:
+        topology = build_topology(config, placement, k=k)
+        grid = ThermalGrid(build_floorplan(topology), ThermalParams())
+        field = grid.solve()
+        solved.append((label, grid, field))
+        print(
+            f"{label:28s} peak={grid.peak:7.2f}C  "
+            f"avg={grid.average:6.2f}C  min={grid.minimum:6.2f}C"
+        )
+
+    best = min(solved, key=lambda item: item[1].peak)
+    worst = max(solved, key=lambda item: item[1].peak)
+    for label, grid, field in (best, worst):
+        hot_layer = int(
+            np.unravel_index(field.argmax(), field.shape)[0]
+        )
+        print(f"\n{label} — hottest layer {hot_layer} "
+              f"(peak {grid.peak:.1f}C):")
+        print(heat_map(field, hot_layer))
+    print(
+        "\nHotspots: stacking CPUs aligns the 8 W cores vertically and "
+        "spikes the peak; offsetting in all three dimensions (the paper's "
+        "placement) keeps the same average with a far lower peak."
+    )
+
+
+if __name__ == "__main__":
+    main()

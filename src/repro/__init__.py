@@ -1,0 +1,38 @@
+"""Network-in-Memory: 3D chip-multiprocessor NUCA L2 simulation.
+
+A reproduction of Li, Nicopoulos, Richardson, Xie, Narayanan & Kandemir,
+"Design and Management of 3D Chip Multiprocessors Using Network-in-Memory"
+(ISCA 2006).
+
+Quick start::
+
+    from repro import NetworkInMemory, SystemConfig, Scheme
+    from repro.workloads import SyntheticWorkload
+
+    system = NetworkInMemory(SystemConfig(scheme=Scheme.CMP_DNUCA_3D))
+    stats = system.run_trace(SyntheticWorkload("swim").traces())
+    print(stats.avg_l2_hit_latency, stats.ipc)
+
+Subpackages: :mod:`repro.core` (the 3D architecture), :mod:`repro.noc`
+(cycle-accurate wormhole NoC), :mod:`repro.dtdma` (vertical bus pillars),
+:mod:`repro.cache` (NUCA L2), :mod:`repro.coherence` (L1 + MSI directory),
+:mod:`repro.cpu` (in-order cores), :mod:`repro.workloads` (synthetic SPEC
+OMP), :mod:`repro.thermal` (3D thermal solver), :mod:`repro.models`
+(area/power/latency analytic models), :mod:`repro.experiments` (the
+table/figure reproduction harness).
+"""
+
+from repro.core.system import NetworkInMemory, SystemConfig, RunStats
+from repro.core.schemes import Scheme
+from repro.core.chip import ChipConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NetworkInMemory",
+    "SystemConfig",
+    "RunStats",
+    "Scheme",
+    "ChipConfig",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""NUCA L2 cache substrate: banks, clusters, tags, and management policies.
+
+Implements Section 4 of the paper: the cluster organization with per-cluster
+tag arrays, the two-step search policy, the low-order-tag-bit initial
+placement, tree pseudo-LRU replacement, and the 3D-tailored gradual
+migration policy with lazy (false-miss-free) migration.
+"""
+
+from repro.cache.addressing import AddressMap, DecodedAddress
+from repro.cache.line import LineEntry
+from repro.cache.replacement import TreePLRU
+from repro.cache.cluster_store import ClusterStore
+from repro.cache.nuca import NucaL2, AccessOutcome, AccessType
+from repro.cache.search import SearchPolicy, SearchPlan
+from repro.cache.migration import MigrationPolicy, MigrationConfig
+from repro.cache.replication import ReplicatingNucaL2, ReplicationConfig
+
+__all__ = [
+    "AddressMap",
+    "DecodedAddress",
+    "LineEntry",
+    "TreePLRU",
+    "ClusterStore",
+    "NucaL2",
+    "AccessOutcome",
+    "AccessType",
+    "SearchPolicy",
+    "SearchPlan",
+    "MigrationPolicy",
+    "MigrationConfig",
+    "ReplicatingNucaL2",
+    "ReplicationConfig",
+]

@@ -1,0 +1,116 @@
+"""Per-cluster L2 storage: sets, ways, and pseudo-LRU state.
+
+Each cluster owns ``sets_per_cluster`` sets of ``associativity`` ways
+(16-way in the paper).  Sets are allocated lazily — workloads touch a tiny
+fraction of a 16 MB cache's sets, and lazy allocation keeps memory and
+construction time proportional to the touched footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.cache.line import LineEntry
+from repro.cache.replacement import TreePLRU
+
+
+class ClusterStore:
+    """Associative storage of one cluster, with a shared tag array view."""
+
+    def __init__(self, cluster_index: int, num_sets: int, ways: int):
+        self.cluster_index = cluster_index
+        self.num_sets = num_sets
+        self.ways = ways
+        self._sets: dict[int, list[Optional[LineEntry]]] = {}
+        self._plru: dict[int, TreePLRU] = {}
+        self.lines_resident = 0
+
+    def _set(self, index: int) -> list[Optional[LineEntry]]:
+        if not 0 <= index < self.num_sets:
+            raise ValueError(f"set index {index} out of range")
+        ways = self._sets.get(index)
+        if ways is None:
+            ways = [None] * self.ways
+            self._sets[index] = ways
+        return ways
+
+    def _tree(self, index: int) -> TreePLRU:
+        tree = self._plru.get(index)
+        if tree is None:
+            tree = TreePLRU(self.ways)
+            self._plru[index] = tree
+        return tree
+
+    # -- tag array operations -------------------------------------------------
+
+    def lookup(self, index: int, tag: int) -> Optional[tuple[int, LineEntry]]:
+        """Tag match: (way, entry) or None.  Does not update LRU state."""
+        ways = self._sets.get(index)
+        if ways is None:
+            return None
+        for way, entry in enumerate(ways):
+            if entry is not None and entry.tag == tag:
+                return way, entry
+        return None
+
+    def touch(self, index: int, way: int) -> None:
+        """Update pseudo-LRU state for an access to ``way``."""
+        self._tree(index).touch(way)
+
+    # -- data array operations ---------------------------------------------------
+
+    def insert(
+        self, index: int, entry: LineEntry, avoid_in_transit: bool = True
+    ) -> Optional[LineEntry]:
+        """Place ``entry`` in set ``index``; returns the evicted line, if any.
+
+        A free way is used when available; otherwise the pseudo-LRU victim
+        is evicted.  Lines currently migrating are not chosen as victims
+        (their departure is already scheduled) unless every way is in
+        transit.
+        """
+        ways = self._set(index)
+        for way, existing in enumerate(ways):
+            if existing is None:
+                ways[way] = entry
+                self._tree(index).touch(way)
+                self.lines_resident += 1
+                return None
+        tree = self._tree(index)
+        victim_way = tree.victim()
+        if avoid_in_transit and ways[victim_way] is not None and ways[victim_way].in_transit:
+            for way, existing in enumerate(ways):
+                if existing is not None and not existing.in_transit:
+                    victim_way = way
+                    break
+        victim = ways[victim_way]
+        ways[victim_way] = entry
+        tree.touch(victim_way)
+        return victim
+
+    def remove(self, index: int, tag: int) -> LineEntry:
+        """Remove and return the line with ``tag`` from set ``index``."""
+        ways = self._sets.get(index)
+        if ways is not None:
+            for way, entry in enumerate(ways):
+                if entry is not None and entry.tag == tag:
+                    ways[way] = None
+                    self.lines_resident -= 1
+                    return entry
+        raise KeyError(
+            f"line tag={tag:#x} index={index} not in cluster "
+            f"{self.cluster_index}"
+        )
+
+    def free_ways(self, index: int) -> int:
+        ways = self._sets.get(index)
+        if ways is None:
+            return self.ways
+        return sum(1 for entry in ways if entry is None)
+
+    def entries(self) -> Iterator[tuple[int, int, LineEntry]]:
+        """All resident lines as (index, way, entry)."""
+        for index, ways in self._sets.items():
+            for way, entry in enumerate(ways):
+                if entry is not None:
+                    yield index, way, entry

@@ -1,0 +1,325 @@
+"""The clustered NUCA L2: functional storage plus management policies.
+
+`NucaL2` binds the cluster stores to the search, placement/replacement and
+migration policies on a placed chip topology.  It is purely *functional*:
+it answers where a line is, what moved, and what was evicted.  Timing is
+layered on top by :mod:`repro.core.system`, which prices the network
+traffic each outcome implies (in either analytic-model or cycle-accurate
+mode).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.stats import StatsRegistry
+from repro.noc.routing import Coord
+from repro.core.chip import ChipTopology
+from repro.cache.addressing import AddressMap, DecodedAddress
+from repro.cache.line import LineEntry
+from repro.cache.cluster_store import ClusterStore
+from repro.cache.search import SearchPolicy
+from repro.cache.migration import MigrationPolicy, MigrationConfig
+
+
+class AccessType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    IFETCH = "ifetch"
+
+
+@dataclass
+class AccessOutcome:
+    """Everything the timing layer needs to price one L2 access."""
+
+    address: int
+    cpu_id: int
+    hit: bool
+    cluster: int                       # where the line was found / placed
+    bank_node: Coord                   # mesh node holding the data
+    tag_node: Coord                    # tag array that matched (or home's)
+    search_step: int                   # 1 or 2; misses always pay step 2
+    decoded: DecodedAddress
+    access_type: AccessType = AccessType.READ
+    migration: Optional[tuple[int, int]] = None   # (from, to) if started
+    swap: Optional[tuple[int, int]] = None        # reverse transfer of a swap
+    evicted_line: Optional[int] = None            # line address written back
+    evicted_dirty: bool = False
+
+
+class NucaL2:
+    """16-cluster non-uniform L2 cache with 3D-aware management."""
+
+    def __init__(
+        self,
+        topology: ChipTopology,
+        migration_config: Optional[MigrationConfig] = None,
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.topology = topology
+        self.config = topology.config
+        self.addr_map = AddressMap(self.config)
+        self.search = SearchPolicy(topology)
+        self.migration = MigrationPolicy(topology, migration_config)
+        self.stats = stats or StatsRegistry("l2")
+        self.clusters = [
+            ClusterStore(
+                cluster.index, self.config.sets_per_cluster,
+                self.config.associativity,
+            )
+            for cluster in topology.clusters
+        ]
+        # Ground truth: line address -> cluster index currently holding it.
+        self._location: dict[int, int] = {}
+
+        self._hits = self.stats.counter("l2.hits")
+        self._misses = self.stats.counter("l2.misses")
+        self._hits_step1 = self.stats.counter("l2.hits_step1")
+        self._hits_local = self.stats.counter("l2.hits_local_cluster")
+        self._hits_step2 = self.stats.counter("l2.hits_step2")
+        self._migrations = self.stats.counter("l2.migrations")
+        self._swaps = self.stats.counter("l2.migration_swaps")
+        self._evictions = self.stats.counter("l2.evictions")
+
+    # -- geometry helpers --------------------------------------------------------
+
+    def bank_node(self, cluster_index: int, decoded: DecodedAddress) -> Coord:
+        """Mesh node of the bank holding ``decoded`` within a cluster."""
+        return self.topology.clusters[cluster_index].bank_nodes[decoded.bank]
+
+    def tag_node(self, cluster_index: int) -> Coord:
+        return self.topology.clusters[cluster_index].tag_node
+
+    # -- main access path ------------------------------------------------------------
+
+    def access(
+        self,
+        cpu_id: int,
+        address: int,
+        access_type: AccessType = AccessType.READ,
+        cycle: float = 0.0,
+    ) -> AccessOutcome:
+        """Perform one L2 access; returns the functional outcome.
+
+        ``cycle`` drives lazy-migration settlement and new migration
+        deadlines; callers advancing simulated time must pass it.
+        """
+        decoded = self.addr_map.decode(address)
+        line_addr = decoded.line_address
+        cluster_index = self._location.get(line_addr)
+
+        if cluster_index is not None:
+            outcome = self._hit(
+                cpu_id, decoded, cluster_index, access_type, cycle
+            )
+        else:
+            outcome = self._miss(cpu_id, decoded, access_type, cycle)
+        return outcome
+
+    def _hit(
+        self,
+        cpu_id: int,
+        decoded: DecodedAddress,
+        cluster_index: int,
+        access_type: AccessType,
+        cycle: float,
+    ) -> AccessOutcome:
+        store = self.clusters[cluster_index]
+        found = store.lookup(decoded.index, decoded.tag)
+        if found is None:
+            raise RuntimeError(
+                f"location map desync for line {decoded.line_address:#x}"
+            )
+        way, entry = found
+
+        # Settle a completed lazy migration before anything else.
+        if entry.in_transit and cycle >= entry.in_transit_until:
+            cluster_index = self._complete_migration(
+                entry, decoded, cluster_index
+            )
+            store = self.clusters[cluster_index]
+            refound = store.lookup(decoded.index, decoded.tag)
+            way, entry = refound
+
+        # Migration credit is maintained against the *previous* accessor so
+        # alternating accessors reset it (anti-ping-pong).
+        if entry.last_accessor == cpu_id:
+            entry.migration_credit += 1
+        else:
+            entry.migration_credit = 1
+        entry.touch(cpu_id)
+        store.touch(decoded.index, way)
+        if access_type == AccessType.WRITE:
+            entry.dirty = True
+
+        plan = self.search.plan(cpu_id)
+        step = plan.step_of(cluster_index)
+        self._hits.increment()
+        if step == 1:
+            self._hits_step1.increment()
+            if cluster_index == plan.local_cluster:
+                self._hits_local.increment()
+        else:
+            self._hits_step2.increment()
+
+        migration: Optional[tuple[int, int]] = None
+        if not entry.in_transit and self.migration.should_migrate(
+            entry.migration_credit
+        ):
+            target = self.migration.target_cluster(cluster_index, cpu_id)
+            if target is not None and self._can_accept(target, decoded):
+                transfer = self.migration.transfer_latency(
+                    cluster_index, target
+                )
+                entry.begin_migration(target, cycle + transfer)
+                migration = (cluster_index, target)
+                self._migrations.increment()
+
+        return AccessOutcome(
+            address=decoded.address,
+            cpu_id=cpu_id,
+            hit=True,
+            cluster=cluster_index,
+            bank_node=self.bank_node(cluster_index, decoded),
+            tag_node=self.tag_node(cluster_index),
+            search_step=step,
+            decoded=decoded,
+            access_type=access_type,
+            migration=migration,
+        )
+
+    def _miss(
+        self,
+        cpu_id: int,
+        decoded: DecodedAddress,
+        access_type: AccessType,
+        cycle: float,
+    ) -> AccessOutcome:
+        """Placement policy: the home cluster's set, evicting by pseudo-LRU."""
+        self._misses.increment()
+        home = decoded.home_cluster
+        store = self.clusters[home]
+        entry = LineEntry(tag=decoded.tag, index=decoded.index)
+        entry.touch(cpu_id)
+        entry.migration_credit = 1
+        if access_type == AccessType.WRITE:
+            entry.dirty = True
+        victim = store.insert(decoded.index, entry)
+        evicted_line = None
+        evicted_dirty = False
+        if victim is not None:
+            if victim.is_replica:
+                # Dropping a replica loses no data; the primary remains.
+                self._note_replica_evicted(victim, home)
+            else:
+                evicted_line = self.addr_map.compose(
+                    victim.tag, victim.index
+                ) >> self.addr_map.offset_bits
+                evicted_dirty = victim.dirty
+                self._location.pop(evicted_line, None)
+                self._evictions.increment()
+        self._location[decoded.line_address] = home
+        return AccessOutcome(
+            address=decoded.address,
+            cpu_id=cpu_id,
+            hit=False,
+            cluster=home,
+            bank_node=self.bank_node(home, decoded),
+            tag_node=self.tag_node(home),
+            search_step=2,
+            decoded=decoded,
+            access_type=access_type,
+            evicted_line=evicted_line,
+            evicted_dirty=evicted_dirty,
+        )
+
+    # -- migration mechanics ----------------------------------------------------------
+
+    def _can_accept(self, cluster_index: int, decoded: DecodedAddress) -> bool:
+        """A migration target must offer a free way or a swappable victim."""
+        store = self.clusters[cluster_index]
+        if store.free_ways(decoded.index) > 0:
+            return True
+        ways = store._sets.get(decoded.index)
+        if ways is None:
+            return True
+        return any(e is not None and not e.in_transit for e in ways)
+
+    def _complete_migration(
+        self, entry: LineEntry, decoded: DecodedAddress, old_cluster: int
+    ) -> int:
+        """Land a pending migration: move the line, swapping if needed.
+
+        Returns the cluster the line now lives in.  When the target set is
+        full, the pseudo-LRU victim there is *swapped* back into the freed
+        slot (gradual migration moves data without destroying it).
+        """
+        target = entry.finish_migration()
+        old_store = self.clusters[old_cluster]
+        new_store = self.clusters[target]
+        old_store.remove(decoded.index, entry.tag)
+        victim = new_store.insert(decoded.index, entry)
+        self._location[decoded.line_address] = target
+        if victim is not None:
+            if victim.is_replica:
+                # Replicas are droppable; no swap, no location update.
+                self._note_replica_evicted(victim, target)
+            elif victim.in_transit:
+                # Pathological corner: every way in transit.  Drop the
+                # victim (writeback) rather than deadlock the swap.
+                victim_line = (
+                    self.addr_map.compose(victim.tag, victim.index)
+                    >> self.addr_map.offset_bits
+                )
+                self._location.pop(victim_line, None)
+                self._evictions.increment()
+            else:
+                old_store.insert(decoded.index, victim)
+                victim_line = (
+                    self.addr_map.compose(victim.tag, victim.index)
+                    >> self.addr_map.offset_bits
+                )
+                self._location[victim_line] = old_cluster
+                self._swaps.increment()
+        return target
+
+    def _note_replica_evicted(self, entry: LineEntry, cluster_index: int) -> None:
+        """Hook for the replication extension: a replica was displaced."""
+
+    def settle_all(self, cycle: float) -> int:
+        """Force-complete every due migration (used at sample boundaries)."""
+        settled = 0
+        for cluster_index, store in enumerate(self.clusters):
+            due = [
+                (index, entry)
+                for index, __, entry in store.entries()
+                if entry.in_transit and cycle >= entry.in_transit_until
+            ]
+            for index, entry in due:
+                decoded = self.addr_map.decode(
+                    self.addr_map.compose(entry.tag, entry.index)
+                )
+                self._complete_migration(entry, decoded, cluster_index)
+                settled += 1
+        return settled
+
+    # -- introspection ------------------------------------------------------------
+
+    def location_of(self, address: int) -> Optional[int]:
+        """Cluster currently holding ``address``, or ``None``."""
+        return self._location.get(self.addr_map.line_of(address))
+
+    @property
+    def lines_resident(self) -> int:
+        return len(self._location)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self._hits.value + self._misses.value
+        return self._hits.value / total if total else 0.0
+
+    @property
+    def migrations(self) -> int:
+        return self._migrations.value

@@ -1,0 +1,75 @@
+"""The two-step cache-line search policy (Section 4.2.1).
+
+Step 1: the accessing processor searches its own cluster's tag array (a
+direct connection) and, in parallel, the tag arrays of the neighbouring
+clusters — the in-plane adjacent clusters plus all vertically neighbouring
+clusters, which receive the tag broadcast through the pillar.
+
+Step 2: on a step-1 miss, the request is multicast to every remaining
+cluster.  A miss everywhere is an L2 miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chip import ChipTopology, Cluster
+
+
+@dataclass(frozen=True)
+class SearchPlan:
+    """The clusters probed at each step for one accessing CPU."""
+
+    cpu_id: int
+    local_cluster: int
+    step1: tuple[int, ...]   # local + neighbours (probed in parallel)
+    step2: tuple[int, ...]   # everything else (multicast)
+
+    def step_of(self, cluster_index: int) -> int:
+        """1 if the cluster is probed in step 1, else 2."""
+        return 1 if cluster_index in self.step1 else 2
+
+
+class SearchPolicy:
+    """Builds and caches per-CPU search plans for a placed chip."""
+
+    def __init__(self, topology: ChipTopology):
+        self.topology = topology
+        self._plans: dict[int, SearchPlan] = {}
+
+    def plan(self, cpu_id: int) -> SearchPlan:
+        cached = self._plans.get(cpu_id)
+        if cached is not None:
+            return cached
+        topo = self.topology
+        local = topo.cpu_cluster(cpu_id)
+        step1: list[int] = [local.index]
+        for neighbor in topo.in_plane_neighbors(local):
+            step1.append(neighbor.index)
+        for neighbor in topo.vertical_neighbors(local):
+            step1.append(neighbor.index)
+        step1_set = set(step1)
+        step2 = tuple(
+            cluster.index
+            for cluster in topo.clusters
+            if cluster.index not in step1_set
+        )
+        plan = SearchPlan(
+            cpu_id=cpu_id,
+            local_cluster=local.index,
+            step1=tuple(step1),
+            step2=step2,
+        )
+        self._plans[cpu_id] = plan
+        return plan
+
+    def clusters_probed(self, cpu_id: int, found_step: int) -> int:
+        """How many tag arrays were activated to resolve an access.
+
+        Used for the L2 dynamic-power accounting: a step-1 hit probes only
+        the step-1 set; a step-2 hit (or L2 miss) probes every cluster.
+        """
+        plan = self.plan(cpu_id)
+        if found_step == 1:
+            return len(plan.step1)
+        return len(plan.step1) + len(plan.step2)

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``          simulate one scheme on one benchmark and print statistics
+``thermal``      solve a placement's thermal profile
+``experiments``  run one (or all) of the table/figure reproductions
+``describe``     print a chip configuration's placed topology
+
+Examples::
+
+    python -m repro run --scheme CMP-DNUCA-3D --benchmark swim
+    python -m repro run --scheme CMP-DNUCA-2D --benchmark art --refs 20000
+    python -m repro thermal --layers 2 --placement stacked
+    python -m repro experiments fig13
+    python -m repro describe --layers 4 --pillars 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.core.chip import ChipConfig
+from repro.core.placement import PlacementPolicy, build_topology
+from repro.core.schemes import Scheme
+from repro.core.system import NetworkInMemory, SystemConfig
+from repro.power.report import energy_report
+from repro.thermal import simulate_thermal
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+from repro.workloads.generator import SyntheticWorkload
+
+_EXPERIMENTS = (
+    "table1", "table2", "table3", "table5",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+)
+
+_PLACEMENTS = {policy.value: policy for policy in PlacementPolicy}
+
+
+def _scheme(name: str) -> Scheme:
+    for scheme in Scheme:
+        if scheme.value.lower() == name.lower():
+            return scheme
+    raise argparse.ArgumentTypeError(
+        f"unknown scheme {name!r}; choose from "
+        f"{[s.value for s in Scheme]}"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Network-in-Memory 3D CMP simulation (ISCA 2006 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a scheme on a benchmark")
+    run.add_argument("--scheme", type=_scheme, default=Scheme.CMP_DNUCA_3D)
+    run.add_argument(
+        "--benchmark", choices=BENCHMARK_NAMES, default="swim"
+    )
+    run.add_argument("--refs", type=int, default=30_000,
+                     help="references per CPU")
+    run.add_argument("--warmup", type=float, default=0.6,
+                     help="warm-up fraction of total events")
+    run.add_argument("--layers", type=int, default=2)
+    run.add_argument("--pillars", type=int, default=8)
+    run.add_argument("--cache-mb", type=int, default=16)
+    run.add_argument("--seed", type=int, default=2006)
+    run.add_argument("--energy", action="store_true",
+                     help="print the energy breakdown too")
+
+    thermal = sub.add_parser("thermal", help="thermal profile of a placement")
+    thermal.add_argument("--layers", type=int, default=2)
+    thermal.add_argument("--pillars", type=int, default=8)
+    thermal.add_argument(
+        "--placement", choices=sorted(_PLACEMENTS), default=None
+    )
+    thermal.add_argument("--k", type=int, default=1)
+
+    experiments = sub.add_parser(
+        "experiments", help="run table/figure reproductions"
+    )
+    experiments.add_argument(
+        "name", nargs="?", default="all",
+        choices=(*_EXPERIMENTS, "all"),
+    )
+
+    describe = sub.add_parser("describe", help="print a placed topology")
+    describe.add_argument("--layers", type=int, default=2)
+    describe.add_argument("--pillars", type=int, default=8)
+    describe.add_argument("--cache-mb", type=int, default=16)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = SystemConfig(
+        scheme=args.scheme,
+        cache_mb=args.cache_mb,
+        num_layers=args.layers,
+        num_pillars=args.pillars,
+    )
+    system = NetworkInMemory(config)
+    workload = SyntheticWorkload(
+        args.benchmark, refs_per_cpu=args.refs, seed=args.seed
+    )
+    warmup = int(8 * args.refs * args.warmup)
+    stats = system.run_trace(workload.traces(), warmup_events=warmup)
+    print(f"scheme:            {args.scheme.value}")
+    print(f"benchmark:         {args.benchmark}")
+    print(f"L2 accesses:       {stats.l2_accesses:,}")
+    print(f"L2 hit rate:       {stats.l2_hit_rate:.1%}")
+    print(f"avg L2 hit lat:    {stats.avg_l2_hit_latency:.1f} cycles")
+    print(f"avg L2 miss lat:   {stats.avg_l2_miss_latency:.1f} cycles")
+    print(f"migrations:        {stats.migrations:,}")
+    print(f"IPC (aggregate):   {stats.ipc:.3f}")
+    print(f"L1 miss rate:      {stats.l1_miss_rate:.1%}")
+    if args.energy:
+        print()
+        print(energy_report(system, stats))
+    return 0
+
+
+def _cmd_thermal(args: argparse.Namespace) -> int:
+    if args.layers == 1:
+        config = ChipConfig(num_layers=1, num_pillars=0)
+        default_placement = PlacementPolicy.CENTER_2D
+    else:
+        config = ChipConfig(num_layers=args.layers, num_pillars=args.pillars)
+        default_placement = PlacementPolicy.MAXIMAL_OFFSET
+    placement = (
+        _PLACEMENTS[args.placement] if args.placement else default_placement
+    )
+    profile = simulate_thermal(
+        config=config, placement=placement, k=args.k,
+        label=f"{args.layers}L/{placement.value}",
+    )
+    print(profile)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    names = _EXPERIMENTS if args.name == "all" else (args.name,)
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        module.main()
+        print()
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    if args.layers == 1:
+        config = ChipConfig(
+            num_layers=1, num_pillars=0, cache_mb=args.cache_mb
+        )
+    else:
+        config = ChipConfig(
+            num_layers=args.layers,
+            num_pillars=args.pillars,
+            cache_mb=args.cache_mb,
+        )
+    print(build_topology(config).describe())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "thermal": _cmd_thermal,
+        "experiments": _cmd_experiments,
+        "describe": _cmd_describe,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

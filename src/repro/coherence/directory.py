@@ -1,0 +1,70 @@
+"""Distributed sharer directory for the L1 MSI protocol.
+
+Tracks which CPUs' L1 caches hold each line.  Because the L1s are
+write-through there is no M state to track at line granularity beyond
+"being written now": a write simply invalidates all other sharers and
+updates the L2.  The directory is logically distributed (the paper gives
+each processor a directory for its own L1 lines); functionally one sharded
+map captures the same information, and the timing layer charges the
+invalidation messages to the network between the writer and each sharer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class Directory:
+    """line address -> set of CPU ids whose L1 holds the line."""
+
+    def __init__(self, num_cpus: int):
+        self.num_cpus = num_cpus
+        self._sharers: dict[int, set[int]] = {}
+        self.invalidations_sent = 0
+
+    def sharers_of(self, line_address: int) -> frozenset[int]:
+        return frozenset(self._sharers.get(line_address, ()))
+
+    def add_sharer(self, line_address: int, cpu_id: int) -> None:
+        if not 0 <= cpu_id < self.num_cpus:
+            raise ValueError(f"unknown CPU {cpu_id}")
+        self._sharers.setdefault(line_address, set()).add(cpu_id)
+
+    def drop_sharer(self, line_address: int, cpu_id: int) -> None:
+        sharers = self._sharers.get(line_address)
+        if sharers is not None:
+            sharers.discard(cpu_id)
+            if not sharers:
+                del self._sharers[line_address]
+
+    def write_invalidate(self, line_address: int, writer: int) -> list[int]:
+        """Invalidate every sharer other than the writer.
+
+        Returns the list of CPUs that must receive an invalidation message;
+        the writer's own copy (if any) is retained.
+        """
+        sharers = self._sharers.get(line_address)
+        if not sharers:
+            return []
+        targets = sorted(cpu for cpu in sharers if cpu != writer)
+        if targets:
+            self.invalidations_sent += len(targets)
+            kept = {writer} if writer in sharers else set()
+            if kept:
+                self._sharers[line_address] = kept
+            else:
+                del self._sharers[line_address]
+        return targets
+
+    def invalidate_line(self, line_address: int) -> list[int]:
+        """Invalidate every sharer (L2 eviction of the line)."""
+        sharers = self._sharers.pop(line_address, set())
+        targets = sorted(sharers)
+        self.invalidations_sent += len(targets)
+        return targets
+
+    def tracked_lines(self) -> int:
+        return len(self._sharers)
+
+    def total_sharers(self) -> int:
+        return sum(len(s) for s in self._sharers.values())

@@ -1,0 +1,153 @@
+"""The MSI protocol engine binding L1 caches to the directory.
+
+`CoherentL1System.access` is the front door for every CPU memory
+reference.  It filters references through the private L1s and returns a
+:class:`CoherenceEvent` describing what the L2 and the network must do:
+whether an L2 transaction is needed, and which L1s must receive
+invalidations.  Consistent with the write-through L1s, the protocol is:
+
+* **read / ifetch hit** — L1 satisfies it; no L2 traffic.
+* **read / ifetch miss** — L2 read; the reader becomes a sharer.
+* **write** — always propagated to the L2 (write-through); all *other*
+  sharers are invalidated.  With no-write-allocate (default), a writing
+  CPU that does not hold the line does not gain it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.nuca import AccessType
+from repro.coherence.l1cache import L1Cache, L1Config
+from repro.coherence.directory import Directory
+
+
+@dataclass
+class CoherenceEvent:
+    """Consequences of one CPU memory reference."""
+
+    cpu_id: int
+    address: int
+    access_type: AccessType
+    l1_hit: bool
+    needs_l2: bool
+    invalidate_cpus: list[int] = field(default_factory=list)
+    l1_evicted_line: Optional[int] = None
+
+
+class CoherentL1System:
+    """All private L1s plus the sharer directory, MSI over write-through."""
+
+    def __init__(self, num_cpus: int, config: Optional[L1Config] = None):
+        self.config = config or L1Config()
+        # Split I/D: instruction fetches and data references index
+        # separate 64 KB arrays, as in Table 4.
+        self.dcaches = [L1Cache(cpu, self.config) for cpu in range(num_cpus)]
+        self.icaches = [L1Cache(cpu, self.config) for cpu in range(num_cpus)]
+        self.directory = Directory(num_cpus)
+        # Small write-combining buffer per CPU (8 lines, LRU): stores to a
+        # line already in the buffer coalesce into the earlier
+        # write-through transaction instead of re-writing the L2.
+        self._write_buffers: list[list[int]] = [[] for __ in range(num_cpus)]
+        self._write_buffer_entries = 8
+        self.coalesced_writes = 0
+
+    def _array(self, cpu_id: int, access_type: AccessType) -> L1Cache:
+        if access_type == AccessType.IFETCH:
+            return self.icaches[cpu_id]
+        return self.dcaches[cpu_id]
+
+    def access(
+        self, cpu_id: int, address: int, access_type: AccessType
+    ) -> CoherenceEvent:
+        """Process one reference; returns the resulting coherence event."""
+        cache = self._array(cpu_id, access_type)
+        line = cache.line_of(address)
+
+        if access_type == AccessType.WRITE:
+            hit = cache.lookup(address)
+            buffer = self._write_buffers[cpu_id]
+            if line in buffer:
+                # Coalesced in the write buffer: the earlier write-through
+                # already updated the L2 and invalidated the sharers.
+                buffer.remove(line)
+                buffer.insert(0, line)
+                self.coalesced_writes += 1
+                return CoherenceEvent(
+                    cpu_id=cpu_id,
+                    address=address,
+                    access_type=access_type,
+                    l1_hit=hit,
+                    needs_l2=False,
+                )
+            buffer.insert(0, line)
+            if len(buffer) > self._write_buffer_entries:
+                buffer.pop()
+            invalidated = self.directory.write_invalidate(line, cpu_id)
+            for target in invalidated:
+                self.dcaches[target].invalidate(address)
+                self.icaches[target].invalidate(address)
+                target_buffer = self._write_buffers[target]
+                if line in target_buffer:
+                    target_buffer.remove(line)
+            evicted = None
+            if not hit and self.config.write_allocate:
+                evicted = cache.fill(address)
+                self.directory.add_sharer(line, cpu_id)
+                if evicted is not None:
+                    self.directory.drop_sharer(evicted, cpu_id)
+            # Write-through: the L2 sees every store.
+            return CoherenceEvent(
+                cpu_id=cpu_id,
+                address=address,
+                access_type=access_type,
+                l1_hit=hit,
+                needs_l2=True,
+                invalidate_cpus=invalidated,
+                l1_evicted_line=evicted,
+            )
+
+        # READ / IFETCH
+        if cache.lookup(address):
+            return CoherenceEvent(
+                cpu_id=cpu_id,
+                address=address,
+                access_type=access_type,
+                l1_hit=True,
+                needs_l2=False,
+            )
+        evicted = cache.fill(address)
+        self.directory.add_sharer(line, cpu_id)
+        if evicted is not None:
+            self.directory.drop_sharer(evicted, cpu_id)
+        return CoherenceEvent(
+            cpu_id=cpu_id,
+            address=address,
+            access_type=access_type,
+            l1_hit=False,
+            needs_l2=True,
+            l1_evicted_line=evicted,
+        )
+
+    def l2_eviction(self, line_address: int) -> list[int]:
+        """Back-invalidate L1 copies when the L2 evicts a line (inclusion)."""
+        targets = self.directory.invalidate_line(line_address)
+        address = line_address * self.config.line_bytes
+        for target in targets:
+            self.dcaches[target].invalidate(address)
+            self.icaches[target].invalidate(address)
+        return targets
+
+    # -- statistics --------------------------------------------------------------
+
+    def miss_rate(self, cpu_id: Optional[int] = None) -> float:
+        caches = (
+            [self.dcaches[cpu_id], self.icaches[cpu_id]]
+            if cpu_id is not None
+            else self.dcaches + self.icaches
+        )
+        hits = sum(c.hits for c in caches)
+        misses = sum(c.misses for c in caches)
+        total = hits + misses
+        return misses / total if total else 0.0

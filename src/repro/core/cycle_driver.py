@@ -1,0 +1,226 @@
+"""Cycle-accurate transaction pricing over the real NoC/dTDMA fabric.
+
+``mode="cycle"`` replaces the analytic latency model with the flit-level
+simulator: every leg of a transaction (tag query, bank request, data
+return, ...) is a real packet injected into the fabric, and the engine is
+run until delivery.  Transactions are priced one at a time — the exact
+per-leg latencies include every router, VC, credit and bus-arbitration
+effect at the offered background load (injected invalidation/migration
+packets keep flying while later legs are measured).
+
+This mode is orders of magnitude slower than the model and exists to
+(a) validate the model's calibration and (b) let tests and microbenchmarks
+measure ground truth on small configurations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.noc.network import Network, NetworkConfig
+from repro.noc.packet import MessageClass
+from repro.noc.routing import Coord
+from repro.cache.nuca import AccessType
+
+if TYPE_CHECKING:
+    from repro.core.system import NetworkInMemory
+    from repro.cache.nuca import AccessOutcome  # noqa: F401
+
+
+class CyclePricer:
+    """Prices transactions by flying real packets through the fabric."""
+
+    def __init__(self, system: "NetworkInMemory"):
+        self.system = system
+        self.cfg = system.config
+        self.topology = system.topology
+        chip = system.setup.chip
+        width, height = chip.mesh_dims
+        self.network = Network(
+            NetworkConfig(
+                width=width,
+                height=height,
+                layers=chip.num_layers,
+                pillar_locations=tuple(system.topology.pillar_xys),
+                packet_flits=system.config.data_flits,
+            )
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _leg(
+        self,
+        src: Coord,
+        dest: Coord,
+        size_flits: int,
+        message_class: MessageClass = MessageClass.REQUEST,
+    ) -> float:
+        """Send one packet and run the fabric until it arrives."""
+        if src == dest:
+            return 0.0
+        packet = self.network.send(
+            src, dest, size_flits=size_flits, message_class=message_class
+        )
+        self.network.engine.run_until(
+            lambda: packet.ejected_cycle is not None, max_cycles=1_000_000
+        )
+        return float(packet.latency)
+
+    def _fire_and_forget(
+        self, src: Coord, dest: Coord, size_flits: int,
+        message_class: MessageClass,
+    ) -> None:
+        if src != dest:
+            self.network.send(
+                src, dest, size_flits=size_flits, message_class=message_class
+            )
+
+    # -- pricing ----------------------------------------------------------------
+
+    def price(self, cpu_id: int, outcome: "AccessOutcome", cycle: float) -> float:
+        cfg = self.cfg
+        cpu_node = self.topology.cpu_positions[cpu_id]
+        tag_node = outcome.tag_node
+        bank_node = outcome.bank_node
+
+        if outcome.migration is not None:
+            src, dst = outcome.migration
+            topo = self.topology
+            self._fire_and_forget(
+                topo.clusters[src].center, topo.clusters[dst].center,
+                cfg.data_flits, MessageClass.MIGRATION,
+            )
+            self._fire_and_forget(
+                topo.clusters[dst].center, topo.clusters[src].center,
+                cfg.data_flits, MessageClass.MIGRATION,
+            )
+
+        if self.system.setup.perfect_search:
+            return self._price_perfect(cpu_node, outcome)
+
+        is_write = outcome.access_type == AccessType.WRITE
+        plan = self.system.l2.search.plan(cpu_id)
+        topo = self.topology
+        step1_targets = [
+            topo.clusters[c].tag_node
+            for c in plan.step1
+            if c != plan.local_cluster
+        ]
+        step2_targets = [topo.clusters[c].tag_node for c in plan.step2]
+
+        if outcome.hit and outcome.search_step == 1:
+            for target in step1_targets:
+                if target != tag_node:
+                    self._fire_and_forget(
+                        cpu_node, target, cfg.request_flits,
+                        MessageClass.REQUEST,
+                    )
+            if outcome.cluster == plan.local_cluster:
+                latency = float(cfg.tag_latency)
+            else:
+                latency = self._leg(cpu_node, tag_node, cfg.request_flits)
+                latency += cfg.tag_latency
+            return latency + self._data_phase(
+                tag_node, bank_node, cpu_node, is_write
+            )
+
+        latency = self._query_round(cpu_node, step1_targets)
+        if outcome.hit:
+            for target in step2_targets:
+                if target != tag_node:
+                    self._fire_and_forget(
+                        cpu_node, target, cfg.request_flits,
+                        MessageClass.REQUEST,
+                    )
+            latency += self._leg(cpu_node, tag_node, cfg.request_flits)
+            latency += cfg.tag_latency
+            latency += self._data_phase(
+                tag_node, bank_node, cpu_node, is_write
+            )
+            return latency
+
+        latency += self._query_round(cpu_node, step2_targets)
+        latency += cfg.memory_latency
+        self._fire_and_forget(
+            self.system.memory_node, bank_node, cfg.data_flits,
+            MessageClass.DATA,
+        )
+        return latency
+
+    def _query_round(self, cpu_node: Coord, targets: list[Coord]) -> float:
+        """Parallel query round: all queries fly, the worst RTT decides."""
+        cfg = self.cfg
+        packets = []
+        for target in targets:
+            if target == cpu_node:
+                continue
+            packets.append(
+                (
+                    self.network.send(
+                        cpu_node, target, cfg.request_flits,
+                        MessageClass.REQUEST,
+                    ),
+                    target,
+                )
+            )
+        worst = float(cfg.tag_latency)
+        for packet, target in packets:
+            self.network.engine.run_until(
+                lambda p=packet: p.ejected_cycle is not None,
+                max_cycles=1_000_000,
+            )
+            reply = self._leg(target, cpu_node, cfg.request_flits)
+            worst = max(worst, float(packet.latency) + cfg.tag_latency + reply)
+        return worst
+
+    def _data_phase(
+        self,
+        tag_node: Coord,
+        bank_node: Coord,
+        cpu_node: Coord,
+        is_write: bool = False,
+    ) -> float:
+        cfg = self.cfg
+        latency = 0.0
+        if is_write:
+            if cpu_node != bank_node:
+                latency += self._leg(
+                    cpu_node, bank_node, cfg.data_flits, MessageClass.DATA
+                )
+            return latency + cfg.bank_latency
+        if tag_node != bank_node:
+            latency += self._leg(tag_node, bank_node, cfg.request_flits)
+        latency += cfg.bank_latency
+        if bank_node != cpu_node:
+            latency += self._leg(
+                bank_node, cpu_node, cfg.data_flits, MessageClass.DATA
+            )
+        return latency
+
+    def _price_perfect(self, cpu_node: Coord, outcome: "AccessOutcome") -> float:
+        cfg = self.cfg
+        latency = self._leg(cpu_node, outcome.tag_node, cfg.request_flits)
+        latency += cfg.tag_latency
+        if outcome.hit:
+            return latency + self._data_phase(
+                outcome.tag_node, outcome.bank_node, cpu_node,
+                outcome.access_type == AccessType.WRITE,
+            )
+        self._fire_and_forget(
+            self.system.memory_node, outcome.bank_node, cfg.data_flits,
+            MessageClass.DATA,
+        )
+        return latency + cfg.memory_latency
+
+    def charge_invalidations(
+        self, src: Coord, cpu_targets: list[int], cycle: float
+    ) -> None:
+        cfg = self.cfg
+        for cpu in cpu_targets:
+            node = self.topology.cpu_positions[cpu]
+            self._fire_and_forget(
+                src, node, cfg.request_flits, MessageClass.COHERENCE
+            )
+            self._fire_and_forget(
+                node, src, cfg.request_flits, MessageClass.COHERENCE
+            )

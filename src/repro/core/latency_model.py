@@ -1,0 +1,170 @@
+"""Contention-aware analytic network latency model.
+
+Flit-level simulation of the paper's multi-billion-cycle runs is infeasible
+in Python, so the system-level simulator (``mode="model"``) prices each
+packet with this model instead of injecting flits.  The model mirrors the
+cycle-accurate fabric's zero-load behaviour exactly and approximates
+contention with M/D/1-style queueing terms driven by online load estimates:
+
+* **zero-load**: one cycle per mesh hop (single-stage router with the link
+  folded in, as in the cycle simulator), a fixed injection/ejection
+  overhead, wormhole serialization of ``size - 1`` flits, and two extra
+  cycles for a vertical bus crossing (transceiver + bus slot).
+* **mesh contention**: per-hop queueing wait of
+  ``q_mesh * rho / (1 - rho)`` where ``rho`` is the estimated flit-hop
+  utilization of the mesh.
+* **pillar contention**: the bus serves one flit per cycle shared by all
+  active clients; at utilization ``rho_b`` the head flit waits
+  ``q_bus * rho_b / (1 - rho_b)`` and serialization across the bus
+  stretches by ``1 / (1 - rho_b)``.
+
+The q-constants are calibrated against the cycle-accurate simulator
+(``tests/integration/test_model_calibration.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.noc.routing import Coord, best_pillar
+from repro.core.chip import ChipTopology
+
+
+@dataclass
+class LatencyModelConfig:
+    """Tunables of the analytic latency model."""
+
+    hop_cycles: float = 2.0          # per mesh hop (1 router + 1 wire)
+    injection_overhead: float = 1.0  # NIC inject + eject, measured
+    bus_overhead: float = 2.0        # transceiver hand-off + slot grant
+    q_mesh: float = 0.7              # mesh queueing weight (calibrated)
+    q_bus: float = 1.0               # bus queueing weight (calibrated)
+    mesh_capacity_factor: float = 0.40   # saturation flits/node/cycle
+    load_window: float = 2048.0      # cycles of EMA memory for load
+    max_utilization: float = 0.95    # clamp to keep waits finite
+
+
+class LatencyModel:
+    """Prices packets on the Network-in-Memory fabric.
+
+    The model is stateful: callers report every packet they send via
+    :meth:`note_packet` so utilization estimates track the offered load.
+    """
+
+    def __init__(self, topology: ChipTopology, config: Optional[LatencyModelConfig] = None):
+        self.topology = topology
+        self.config = config or LatencyModelConfig()
+        width, height = topology.config.mesh_dims
+        self._num_nodes = width * height * topology.config.num_layers
+        # Load accounting: decaying rates, advanced lazily per report.
+        self._last_cycle = 0.0
+        self._mesh_rate = 0.0                     # flit-hops per cycle
+        self._bus_rate: dict[tuple[int, int], float] = {
+            xy: 0.0 for xy in topology.pillar_xys
+        }
+        self.flit_hops_total = 0.0
+        self.bus_flits_total = 0.0
+        self.bus_flits_by_pillar: dict[tuple[int, int], float] = {
+            xy: 0.0 for xy in topology.pillar_xys
+        }
+
+    # -- geometry -------------------------------------------------------------
+
+    def path(self, src: Coord, dest: Coord) -> tuple[int, Optional[tuple[int, int]]]:
+        """(mesh hops, pillar used or None) for the dimension-order path."""
+        if src.z == dest.z:
+            return src.manhattan_2d(dest), None
+        pillar = best_pillar(src, dest, self.topology.pillar_xys)
+        px, py = pillar
+        hops = (
+            abs(src.x - px) + abs(src.y - py)
+            + abs(dest.x - px) + abs(dest.y - py)
+        )
+        return hops, pillar
+
+    # -- load tracking ----------------------------------------------------------
+
+    def _decay_to(self, cycle: float) -> None:
+        """Exponentially age the rate estimates up to ``cycle``."""
+        elapsed = cycle - self._last_cycle
+        if elapsed <= 0:
+            return
+        decay = 0.5 ** (elapsed / self.config.load_window)
+        self._mesh_rate *= decay
+        for xy in self._bus_rate:
+            self._bus_rate[xy] *= decay
+        self._last_cycle = cycle
+
+    def note_packet(self, src: Coord, dest: Coord, size_flits: int, cycle: float) -> None:
+        """Record a packet's traffic contribution for load estimation.
+
+        The EMA update adds the packet's flit-hops amortized over the load
+        window, so ``_mesh_rate`` approximates flit-hops per cycle.
+        """
+        self._decay_to(cycle)
+        hops, pillar = self.path(src, dest)
+        flit_hops = hops * size_flits
+        window = self.config.load_window
+        # ln(2) factor makes the half-life equal to the window length.
+        self._mesh_rate += flit_hops * 0.693 / window
+        self.flit_hops_total += flit_hops
+        if pillar is not None:
+            self._bus_rate[pillar] += size_flits * 0.693 / window
+            self.bus_flits_total += size_flits
+            self.bus_flits_by_pillar[pillar] += size_flits
+
+    def mesh_utilization(self) -> float:
+        """Estimated fraction of mesh forwarding capacity in use."""
+        capacity = self._num_nodes * self.config.mesh_capacity_factor
+        rho = self._mesh_rate / capacity if capacity else 0.0
+        return min(rho, self.config.max_utilization)
+
+    def bus_utilization(self, pillar: tuple[int, int]) -> float:
+        """Estimated fraction of one pillar's bus bandwidth in use."""
+        rho = self._bus_rate.get(pillar, 0.0)
+        return min(rho, self.config.max_utilization)
+
+    # -- latency ---------------------------------------------------------------
+
+    def packet_latency(
+        self,
+        src: Coord,
+        dest: Coord,
+        size_flits: int,
+        cycle: Optional[float] = None,
+        record: bool = True,
+    ) -> float:
+        """End-to-end latency of one packet under the current load."""
+        cfg = self.config
+        if src == dest:
+            return 0.0
+        hops, pillar = self.path(src, dest)
+        if cycle is not None:
+            self._decay_to(cycle)
+        rho = self.mesh_utilization()
+        per_hop_wait = cfg.q_mesh * rho / (1.0 - rho)
+        latency = cfg.injection_overhead
+        latency += hops * (cfg.hop_cycles + per_hop_wait)
+        serialization = float(size_flits - 1)
+        if pillar is not None:
+            rho_b = self.bus_utilization(pillar)
+            latency += cfg.bus_overhead
+            latency += cfg.q_bus * rho_b / (1.0 - rho_b)
+            serialization = serialization / (1.0 - rho_b)
+        latency += serialization
+        if record and cycle is not None:
+            self.note_packet(src, dest, size_flits, cycle)
+        return latency
+
+    def zero_load_latency(self, src: Coord, dest: Coord, size_flits: int) -> float:
+        """Latency ignoring all contention (for tests and sanity checks)."""
+        cfg = self.config
+        if src == dest:
+            return 0.0
+        hops, pillar = self.path(src, dest)
+        latency = cfg.injection_overhead + hops * cfg.hop_cycles
+        latency += size_flits - 1
+        if pillar is not None:
+            latency += cfg.bus_overhead
+        return latency

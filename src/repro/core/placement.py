@@ -1,0 +1,302 @@
+"""Pillar placement and thermal-aware CPU placement.
+
+Implements the paper's placement machinery:
+
+* **Pillar placement** — pillars are spread uniformly across the layer,
+  kept off the mesh edges (edge placement would halve the cache banks in a
+  pillar's vicinity) and as far apart as possible (Section 3.3).
+* **Maximal offsetting** (Figure 9) — with one CPU per pillar, CPUs are
+  offset in all three dimensions: spread across layers and displaced one
+  hop from their pillar in rotating directions, so no two CPUs share a
+  vertical plane.
+* **Algorithm 1** — the paper's placement pattern for 2 or 4 CPUs per
+  pillar per layer with offset factor ``k``, cycling through four cases by
+  ``layer mod 4``.
+* **CPU stacking** — the thermally poor baseline of Table 3: CPUs directly
+  on top of one another on the pillars.
+* **2D placements** — CPUs surrounded by banks at cluster centers (our 2D
+  scheme) or pushed to the chip edges (the CMP-DNUCA baseline layout of
+  Beckmann & Wood).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.noc.routing import Coord
+from repro.core.chip import ChipConfig, ChipTopology
+
+
+class PlacementPolicy(enum.Enum):
+    """How CPUs are arranged on the chip."""
+
+    MAXIMAL_OFFSET = "maximal_offset"   # Fig 9: 1 CPU/pillar, 3D offset
+    ALGORITHM1 = "algorithm1"           # shared pillars, offset pattern
+    STACKED = "stacked"                 # CPUs stacked vertically (baseline)
+    CENTER_2D = "center_2d"             # our 2D scheme: CPUs amid banks
+    EDGE_2D = "edge_2d"                 # CMP-DNUCA: CPUs on chip edges
+
+
+def _spread_positions(count: int, width: int, height: int) -> list[tuple[int, int]]:
+    """``count`` interior positions spread uniformly over a width x height mesh.
+
+    Positions form an r x c grid (the factorization closest to the mesh
+    aspect ratio) at tile centers, which keeps them off the edges and
+    maximally separated.
+    """
+    if count < 1:
+        return []
+    best: Optional[tuple[int, int]] = None
+    best_score = None
+    for rows in range(1, count + 1):
+        if count % rows != 0:
+            continue
+        cols = count // rows
+        # Prefer the factorization whose aspect matches the mesh.
+        score = abs(cols / rows - width / height)
+        if best_score is None or score < best_score:
+            best_score = score
+            best = (cols, rows)
+    cols, rows = best
+    positions = []
+    for row in range(rows):
+        for col in range(cols):
+            x = int((col + 0.5) * width / cols)
+            y = int((row + 0.5) * height / rows)
+            x = min(max(x, 1), width - 2) if width > 2 else x
+            y = min(max(y, 1), height - 2) if height > 2 else y
+            positions.append((x, y))
+    if len(set(positions)) != len(positions):
+        raise ValueError(
+            f"cannot spread {count} pillars over a {width}x{height} mesh"
+        )
+    return positions
+
+
+def place_pillars(config: ChipConfig) -> list[tuple[int, int]]:
+    """Choose pillar (x, y) locations for a chip configuration."""
+    if config.num_layers == 1:
+        return []
+    width, height = config.mesh_dims
+    return _spread_positions(config.num_pillars, width, height)
+
+
+def algorithm1_offsets(layer: int, c: int, k: int) -> list[tuple[int, int]]:
+    """CPU offsets around a pillar for ``layer`` (paper Algorithm 1).
+
+    Returns the (dx, dy) displacements of the ``c`` CPUs assigned to a
+    pillar on ``layer``; the pattern cycles every four layers so CPUs on
+    neighbouring layers never align vertically.
+    """
+    if c not in (2, 4):
+        raise ValueError("Algorithm 1 places 2 or 4 CPUs per pillar per layer")
+    if k < 1:
+        raise ValueError("offset factor k must be at least 1")
+    case = layer % 4
+    if case == 0:
+        if c == 2:
+            return [(k, 0), (-k, 0)]
+        return [(2 * k, 0), (-2 * k, 0), (0, 2 * k), (0, -2 * k)]
+    if case == 1:
+        if c == 2:
+            return [(0, k), (0, -k)]
+        return [(k, k), (k, -k), (-k, k), (-k, -k)]
+    if case == 2:
+        if c == 2:
+            return [(2 * k, 0), (-2 * k, 0)]
+        return [(k, 0), (-k, 0), (0, k), (0, -k)]
+    if c == 2:
+        return [(0, 2 * k), (0, -2 * k)]
+    return [(2 * k, 2 * k), (2 * k, -2 * k), (-2 * k, 2 * k), (-2 * k, -2 * k)]
+
+
+def _clamp(value: int, low: int, high: int) -> int:
+    return max(low, min(high, value))
+
+
+def _claim(
+    position: tuple[int, int, int],
+    taken: set[tuple[int, int, int]],
+    width: int,
+    height: int,
+    forbidden: set[tuple[int, int]],
+) -> tuple[int, int, int]:
+    """Clamp a position onto the mesh and nudge it off collisions.
+
+    CPUs must not share a node with another CPU or sit on a pillar node;
+    a small spiral search finds the nearest free node.
+    """
+    x, y, z = position
+    x = _clamp(x, 0, width - 1)
+    y = _clamp(y, 0, height - 1)
+    if (x, y, z) not in taken and (x, y) not in forbidden:
+        taken.add((x, y, z))
+        return (x, y, z)
+    for radius in range(1, width + height):
+        for dx in range(-radius, radius + 1):
+            for dy in (-(radius - abs(dx)), radius - abs(dx)):
+                nx, ny = x + dx, y + dy
+                if not (0 <= nx < width and 0 <= ny < height):
+                    continue
+                if (nx, ny, z) in taken or (nx, ny) in forbidden:
+                    continue
+                taken.add((nx, ny, z))
+                return (nx, ny, z)
+    raise ValueError("no free node for CPU placement")
+
+
+def place_cpus(
+    config: ChipConfig,
+    policy: PlacementPolicy,
+    pillar_xys: list[tuple[int, int]],
+    k: int = 1,
+) -> dict[int, Coord]:
+    """Compute CPU node positions under a placement policy.
+
+    Returns a mapping from CPU id to mesh coordinate.  ``k`` is the offset
+    factor of Algorithm 1 (ignored by the other policies).
+    """
+    config.validate()
+    width, height = config.mesh_dims
+    layers = config.num_layers
+    taken: set[tuple[int, int, int]] = set()
+    positions: dict[int, Coord] = {}
+
+    if policy in (PlacementPolicy.CENTER_2D, PlacementPolicy.EDGE_2D):
+        if layers != 1:
+            raise ValueError(f"{policy.value} is a single-layer placement")
+        if policy == PlacementPolicy.CENTER_2D:
+            spots = _spread_positions(config.num_cpus, width, height)
+            for cpu_id, (x, y) in enumerate(spots):
+                positions[cpu_id] = Coord(
+                    *_claim((x, y, 0), taken, width, height, set())
+                )
+            return positions
+        # EDGE_2D: half the CPUs along the bottom edge, half along the top,
+        # matching the CMP-DNUCA floorplan the paper contrasts against.
+        per_edge = (config.num_cpus + 1) // 2
+        cpu_id = 0
+        for edge_y in (0, height - 1):
+            remaining = min(per_edge, config.num_cpus - cpu_id)
+            for i in range(remaining):
+                x = int((i + 0.5) * width / remaining)
+                positions[cpu_id] = Coord(
+                    *_claim((x, edge_y, 0), taken, width, height, set())
+                )
+                cpu_id += 1
+        return positions
+
+    if layers == 1:
+        raise ValueError(f"{policy.value} requires a multi-layer chip")
+    if not pillar_xys:
+        raise ValueError("3D CPU placement requires pillars")
+    pillar_set = set(pillar_xys)
+
+    if policy == PlacementPolicy.STACKED:
+        # CPUs directly on the pillar nodes, stacked through the layers.
+        stacks = -(-config.num_cpus // layers)  # ceil division
+        if stacks > len(pillar_xys):
+            raise ValueError("not enough pillars to stack CPUs on")
+        cpu_id = 0
+        for layer in range(layers):
+            for stack in range(stacks):
+                if cpu_id >= config.num_cpus:
+                    return positions
+                x, y = pillar_xys[stack]
+                positions[cpu_id] = Coord(
+                    *_claim((x, y, layer), taken, width, height, set())
+                )
+                cpu_id += 1
+        return positions
+
+    if policy == PlacementPolicy.MAXIMAL_OFFSET:
+        if config.num_cpus > len(pillar_xys):
+            raise ValueError(
+                "maximal offsetting assumes one CPU per pillar; use "
+                "ALGORITHM1 when CPUs must share pillars"
+            )
+        # Checkerboard the layer assignment over the pillar grid so CPUs on
+        # the same layer are never at adjacent pillars — offsetting in all
+        # three dimensions, as in Figure 9.
+        distinct_x = sorted({x for x, __ in pillar_xys})
+        distinct_y = sorted({y for __, y in pillar_xys})
+        directions = [(k, 0), (0, k), (-k, 0), (0, -k)]
+        for cpu_id in range(config.num_cpus):
+            px, py = pillar_xys[cpu_id]
+            gx = distinct_x.index(px)
+            gy = distinct_y.index(py)
+            layer = (gx + gy) % layers
+            dx, dy = directions[(gx + 2 * gy) % len(directions)]
+            positions[cpu_id] = Coord(
+                *_claim((px + dx, py + dy, layer), taken, width, height, pillar_set)
+            )
+        return positions
+
+    if policy == PlacementPolicy.ALGORITHM1:
+        if config.num_cpus % len(pillar_xys) != 0:
+            raise ValueError("CPUs must divide evenly among pillars")
+        per_pillar = config.num_cpus // len(pillar_xys)
+        if per_pillar % layers == 0:
+            c = per_pillar // layers
+            cpu_layers = list(range(layers))
+        else:
+            # Fewer CPUs than pillar x layer slots: use one CPU per pillar
+            # per used layer, alternating layers between pillars.
+            c = 1
+            cpu_layers = None
+        cpu_id = 0
+        for pillar_index, (px, py) in enumerate(pillar_xys):
+            if cpu_layers is None:
+                layer_cycle = [
+                    (pillar_index + i) % layers for i in range(per_pillar)
+                ]
+            else:
+                layer_cycle = [
+                    layer for layer in cpu_layers for __ in range(c)
+                ]
+            per_layer_counts: dict[int, int] = {}
+            for layer in layer_cycle:
+                slot = per_layer_counts.get(layer, 0)
+                per_layer_counts[layer] = slot + 1
+                count_here = layer_cycle.count(layer)
+                if count_here in (2, 4):
+                    offsets = algorithm1_offsets(layer, count_here, k)
+                    dx, dy = offsets[slot]
+                else:
+                    directions = [(k, 0), (0, k), (-k, 0), (0, -k)]
+                    dx, dy = directions[(pillar_index + slot) % 4]
+                positions[cpu_id] = Coord(
+                    *_claim(
+                        (px + dx, py + dy, layer),
+                        taken, width, height, pillar_set,
+                    )
+                )
+                cpu_id += 1
+        return positions
+
+    raise ValueError(f"unknown placement policy {policy!r}")
+
+
+def build_topology(
+    config: ChipConfig,
+    policy: Optional[PlacementPolicy] = None,
+    k: int = 1,
+) -> ChipTopology:
+    """Place pillars and CPUs and return the finished :class:`ChipTopology`.
+
+    When ``policy`` is omitted, the paper's defaults apply: maximal 3D
+    offsetting when each CPU can own a pillar, Algorithm 1 when pillars are
+    shared, and the CPUs-amid-banks layout for single-layer chips.
+    """
+    config.validate()
+    pillar_xys = place_pillars(config)
+    if policy is None:
+        if config.num_layers == 1:
+            policy = PlacementPolicy.CENTER_2D
+        elif config.num_cpus <= config.num_pillars:
+            policy = PlacementPolicy.MAXIMAL_OFFSET
+        else:
+            policy = PlacementPolicy.ALGORITHM1
+    cpu_positions = place_cpus(config, policy, pillar_xys, k=k)
+    return ChipTopology(config, cpu_positions, pillar_xys)

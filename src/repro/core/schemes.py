@@ -1,0 +1,97 @@
+"""The four schemes compared in the paper's evaluation (Section 5.2).
+
+* **CMP-DNUCA** — the prior 2D approach of Beckmann & Wood with *perfect
+  search* (the requester magically knows the owning cluster) and CPUs on
+  the chip edges.
+* **CMP-DNUCA-2D** — our 2D scheme: a single-layer special case of the 3D
+  design, CPUs surrounded by cache banks, two-step search, migration.
+* **CMP-SNUCA-3D** — the 3D design with migration disabled (static), to
+  isolate the benefit of the 3D topology itself.
+* **CMP-DNUCA-3D** — the full proposal: 3D topology plus the 3D-tailored
+  migration policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.chip import ChipConfig
+from repro.core.placement import PlacementPolicy
+
+
+class Scheme(enum.Enum):
+    CMP_DNUCA = "CMP-DNUCA"
+    CMP_DNUCA_2D = "CMP-DNUCA-2D"
+    CMP_SNUCA_3D = "CMP-SNUCA-3D"
+    CMP_DNUCA_3D = "CMP-DNUCA-3D"
+
+    @property
+    def is_3d(self) -> bool:
+        return self in (Scheme.CMP_SNUCA_3D, Scheme.CMP_DNUCA_3D)
+
+    @property
+    def migrates(self) -> bool:
+        return self != Scheme.CMP_SNUCA_3D
+
+    @property
+    def perfect_search(self) -> bool:
+        return self == Scheme.CMP_DNUCA
+
+
+@dataclass
+class SchemeSetup:
+    """Everything needed to instantiate a scheme's system."""
+
+    scheme: Scheme
+    chip: ChipConfig
+    placement: PlacementPolicy
+    migration_enabled: bool
+    perfect_search: bool
+
+
+def make_chip_config(
+    scheme: Scheme,
+    cache_mb: int = 16,
+    num_layers: int = 2,
+    num_pillars: int = 8,
+    num_cpus: int = 8,
+) -> SchemeSetup:
+    """Build the chip configuration and placement policy for a scheme.
+
+    ``num_layers``/``num_pillars`` apply to the 3D schemes only; the 2D
+    schemes always use a single layer with no pillars.
+    """
+    if scheme.is_3d:
+        if num_layers < 2:
+            raise ValueError(f"{scheme.value} requires at least two layers")
+        chip = ChipConfig(
+            num_cpus=num_cpus,
+            num_layers=num_layers,
+            num_pillars=num_pillars,
+            cache_mb=cache_mb,
+        )
+        placement = (
+            PlacementPolicy.MAXIMAL_OFFSET
+            if num_cpus <= num_pillars
+            else PlacementPolicy.ALGORITHM1
+        )
+    else:
+        chip = ChipConfig(
+            num_cpus=num_cpus,
+            num_layers=1,
+            num_pillars=0,
+            cache_mb=cache_mb,
+        )
+        placement = (
+            PlacementPolicy.EDGE_2D
+            if scheme == Scheme.CMP_DNUCA
+            else PlacementPolicy.CENTER_2D
+        )
+    return SchemeSetup(
+        scheme=scheme,
+        chip=chip,
+        placement=placement,
+        migration_enabled=scheme.migrates,
+        perfect_search=scheme.perfect_search,
+    )

@@ -1,0 +1,511 @@
+"""`NetworkInMemory`: the assembled 3D CMP system and its timing layer.
+
+Binds the placed chip topology, the NUCA L2 with its management policies,
+the coherent L1s, and the in-order cores, and prices every L2 transaction's
+network traffic.  Two fidelity modes:
+
+* ``mode="model"`` (default) — packets are priced by the contention-aware
+  analytic :class:`~repro.core.latency_model.LatencyModel`; fast enough for
+  the paper's full figure sweeps.
+* ``mode="cycle"`` — every packet is injected into the cycle-accurate
+  fabric (:mod:`repro.core.cycle_driver`); exact, used by tests and
+  microbenchmarks and to calibrate the model.
+
+The L2 transaction timing follows Section 4.2.1's two-step search:
+
+* hit in the local cluster: direct tag access, then request to the bank
+  and the data's return trip;
+* hit in a step-1 neighbour: parallel tag queries, then the winning
+  cluster forwards to its bank, data returns;
+* hit in step 2: the full step-1 round-trip (all step-1 misses must
+  return) precedes the multicast, then the same forward/return path;
+* L2 miss: both steps complete, then the 260-cycle memory access.
+
+The CMP-DNUCA baseline instead uses *perfect search* (the paper grants it
+that advantage, following Beckmann & Wood): the request goes straight to
+the owning cluster.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.sim.stats import StatsRegistry
+from repro.noc.routing import Coord
+from repro.core.chip import ChipConfig, ChipTopology
+from repro.core.placement import PlacementPolicy, build_topology
+from repro.core.schemes import Scheme, SchemeSetup, make_chip_config
+from repro.core.latency_model import LatencyModel, LatencyModelConfig
+from repro.cache.nuca import NucaL2, AccessType, AccessOutcome
+from repro.cache.migration import MigrationConfig
+from repro.coherence.protocol import CoherentL1System
+from repro.coherence.l1cache import L1Config
+from repro.cpu.core import InOrderCore
+from repro.cpu.trace import OP_READ, OP_WRITE, OP_IFETCH, TraceEvent
+
+_OP_TO_TYPE = {
+    OP_READ: AccessType.READ,
+    OP_WRITE: AccessType.WRITE,
+    OP_IFETCH: AccessType.IFETCH,
+}
+
+
+@dataclass
+class SystemConfig:
+    """Timing and policy parameters of the whole system (Table 4)."""
+
+    scheme: Scheme = Scheme.CMP_DNUCA_3D
+    cache_mb: int = 16
+    num_layers: int = 2
+    num_pillars: int = 8
+    num_cpus: int = 8
+    mode: str = "model"            # "model" or "cycle"
+    tag_latency: int = 4           # per-cluster tag array access (Cacti)
+    bank_latency: int = 5          # 64KB bank access (Cacti)
+    memory_latency: int = 260      # off-chip memory
+    request_flits: int = 1         # tag query / request header
+    data_flits: int = 4            # 64B line = 4 x 128-bit flits
+    cpi_base: float = 1.0
+    # Consecutive same-CPU accesses before a gradual one-cluster move.
+    # Lazy and conservative: shared lines whose accessors alternate are
+    # left in place (anti-ping-pong).
+    migration_threshold: int = 2
+    latency_model: LatencyModelConfig = field(default_factory=LatencyModelConfig)
+    l1: L1Config = field(default_factory=L1Config)
+    placement_k: int = 1           # Algorithm 1 offset factor
+    # Override the scheme's default CPU placement (ablations: e.g. run the
+    # 3D scheme with STACKED CPUs to expose the pillar-congestion cost).
+    placement_override: Optional["PlacementPolicy"] = None
+    # Pin CPUs to explicit coordinates (Fig 17 holds the floorplan fixed
+    # while the via budget — the pillar count — varies).
+    cpu_positions_override: Optional[dict[int, "Coord"]] = None
+
+    def validate(self) -> None:
+        if self.mode not in ("model", "cycle"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.tag_latency < 1 or self.bank_latency < 1:
+            raise ValueError("array latencies must be positive")
+
+
+@dataclass
+class TransactionResult:
+    """Timing outcome of one L2 transaction."""
+
+    latency: float
+    hit: bool
+    search_step: int
+    cluster: int
+    migrated: bool
+
+
+class NetworkInMemory:
+    """The complete simulated system for one scheme/configuration."""
+
+    def __init__(self, config: Optional[SystemConfig] = None):
+        self.config = config or SystemConfig()
+        self.config.validate()
+        setup: SchemeSetup = make_chip_config(
+            self.config.scheme,
+            cache_mb=self.config.cache_mb,
+            num_layers=self.config.num_layers,
+            num_pillars=self.config.num_pillars,
+            num_cpus=self.config.num_cpus,
+        )
+        self.setup = setup
+        if self.config.cpu_positions_override is not None:
+            from repro.core.placement import place_pillars
+
+            self.topology = ChipTopology(
+                setup.chip,
+                self.config.cpu_positions_override,
+                place_pillars(setup.chip),
+            )
+        else:
+            placement = self.config.placement_override or setup.placement
+            self.topology = build_topology(
+                setup.chip, placement, k=self.config.placement_k
+            )
+        self.stats = StatsRegistry("system")
+        # CMP-DNUCA reproduces Beckmann & Wood's policy: promotion on every
+        # hit, but only along the block's bankset chain — lots of movement,
+        # modest convergence, exactly what Fig 14 contrasts against.
+        migration = MigrationConfig(
+            enabled=setup.migration_enabled,
+            trigger_threshold=(
+                1
+                if setup.scheme == Scheme.CMP_DNUCA
+                else self.config.migration_threshold
+            ),
+            transfer_flits=self.config.data_flits,
+            bankset_chains=(setup.scheme == Scheme.CMP_DNUCA),
+        )
+        self.l2 = NucaL2(self.topology, migration, stats=self.stats)
+        self.l1s = CoherentL1System(setup.chip.num_cpus, self.config.l1)
+        self.cores = [
+            InOrderCore(cpu, cpi_base=self.config.cpi_base)
+            for cpu in range(setup.chip.num_cpus)
+        ]
+        width, __ = setup.chip.mesh_dims
+        self.memory_node = Coord(width // 2, 0, 0)
+
+        if self.config.mode == "model":
+            self.model = LatencyModel(self.topology, self.config.latency_model)
+            self.pricer = _ModelPricer(self)
+        else:
+            from repro.core.cycle_driver import CyclePricer
+
+            self.model = LatencyModel(self.topology, self.config.latency_model)
+            self.pricer = CyclePricer(self)
+
+        self.hit_latency = self.stats.histogram("l2.hit_latency", 1.0, 512)
+        self.miss_latency = self.stats.histogram("l2.miss_latency", 2.0, 512)
+        self._l2_reads = self.stats.counter("l2.read_transactions")
+        self._l2_writes = self.stats.counter("l2.write_transactions")
+        self._l2_ifetches = self.stats.counter("l2.ifetch_transactions")
+        self._invalidations = self.stats.counter("coherence.invalidations")
+
+    # -- one L2 transaction ---------------------------------------------------
+
+    def l2_transaction(
+        self, cpu_id: int, address: int, access_type: AccessType, cycle: float
+    ) -> TransactionResult:
+        """Access the L2 and price the transaction's network activity."""
+        outcome = self.l2.access(cpu_id, address, access_type, cycle)
+        latency = self.pricer.price(cpu_id, outcome, cycle)
+
+        # The paper's "L2 hit latency" is the latency processors wait on —
+        # demand reads and fetches.  Buffered write-throughs are priced for
+        # traffic but not mixed into the latency figure.
+        if outcome.hit:
+            if access_type != AccessType.WRITE:
+                self.hit_latency.add(latency)
+        else:
+            self.miss_latency.add(latency)
+            if outcome.evicted_line is not None:
+                targets = self.l1s.l2_eviction(outcome.evicted_line)
+                self.pricer.charge_invalidations(
+                    self.topology.clusters[outcome.cluster].tag_node,
+                    targets,
+                    cycle,
+                )
+        if access_type == AccessType.READ:
+            self._l2_reads.increment()
+        elif access_type == AccessType.WRITE:
+            self._l2_writes.increment()
+        else:
+            self._l2_ifetches.increment()
+        return TransactionResult(
+            latency=latency,
+            hit=outcome.hit,
+            search_step=outcome.search_step,
+            cluster=outcome.cluster,
+            migrated=outcome.migration is not None,
+        )
+
+    # -- trace-driven run -------------------------------------------------------
+
+    def run_trace(
+        self,
+        traces: list[Iterable[TraceEvent]],
+        max_events: Optional[int] = None,
+        warmup_events: int = 0,
+    ) -> "RunStats":
+        """Drive every core through its reference trace, interleaved in time.
+
+        Cores are advanced in global-clock order so the latency model sees
+        a coherent time axis.  ``max_events`` caps total references
+        processed (across all CPUs), for quick runs.  The first
+        ``warmup_events`` references warm the caches without being counted
+        in the reported statistics (the paper warms the L2 for 500 M cycles
+        before its 2 B-cycle sample).
+        """
+        if len(traces) != len(self.cores):
+            raise ValueError(
+                f"need {len(self.cores)} traces, got {len(traces)}"
+            )
+        iterators: list[Iterator[TraceEvent]] = [iter(t) for t in traces]
+        heap = [(0.0, cpu) for cpu in range(len(self.cores))]
+        heapq.heapify(heap)
+        processed = 0
+        warm = False
+        while heap:
+            if max_events is not None and processed >= max_events:
+                break
+            if not warm and processed >= warmup_events:
+                self._end_warmup()
+                warm = True
+            __, cpu = heapq.heappop(heap)
+            event = next(iterators[cpu], None)
+            if event is None:
+                continue  # this CPU's trace is exhausted
+            gap, op, address = event
+            core = self.cores[cpu]
+            core.retire_gap(gap)
+            coherence = self.l1s.access(cpu, address, _OP_TO_TYPE[op])
+            stall = 0.0
+            if coherence.invalidate_cpus:
+                self._invalidations.increment(len(coherence.invalidate_cpus))
+                self.pricer.charge_invalidations(
+                    self.topology.cpu_positions[cpu],
+                    coherence.invalidate_cpus,
+                    core.clock,
+                )
+            if coherence.needs_l2:
+                result = self.l2_transaction(
+                    cpu, address, _OP_TO_TYPE[op], core.clock
+                )
+                core.l2_accesses += 1
+                if op != OP_WRITE:
+                    stall = result.latency
+            core.retire_reference(op, stall)
+            heapq.heappush(heap, (core.clock, cpu))
+            processed += 1
+        return self.collect_stats()
+
+    def _end_warmup(self) -> None:
+        """Reset measured statistics; cache/network state carries over."""
+        self.stats.reset()
+        self._invalidations.reset()
+        for core in self.cores:
+            core.reset_stats()  # clocks keep running: cores stay aligned
+        self.model.flit_hops_total = 0.0
+        self.model.bus_flits_total = 0.0
+
+    # -- results ------------------------------------------------------------------
+
+    def collect_stats(self) -> "RunStats":
+        cores = self.cores
+        total_instructions = sum(c.instructions for c in cores)
+        max_clock = max((c.measured_cycles for c in cores), default=0.0)
+        snapshot = self.stats.snapshot()
+        return RunStats(
+            scheme=self.config.scheme,
+            avg_l2_hit_latency=self.hit_latency.mean,
+            avg_l2_miss_latency=self.miss_latency.mean,
+            l2_hits=int(snapshot.get("l2.hits", 0)),
+            l2_misses=int(snapshot.get("l2.misses", 0)),
+            migrations=self.l2.migrations,
+            ipc=(total_instructions / max_clock if max_clock > 0 else 0.0),
+            per_cpu_ipc=[c.ipc for c in cores],
+            l1_miss_rate=self.l1s.miss_rate(),
+            flit_hops=self.model.flit_hops_total,
+            bus_flits=self.model.bus_flits_total,
+            invalidations=self._invalidations.value,
+            instructions=total_instructions,
+            cycles=max_clock,
+        )
+
+
+@dataclass
+class RunStats:
+    """Summary of one simulated run (the quantities the figures plot)."""
+
+    scheme: Scheme
+    avg_l2_hit_latency: float
+    avg_l2_miss_latency: float
+    l2_hits: int
+    l2_misses: int
+    migrations: int
+    ipc: float
+    per_cpu_ipc: list[float]
+    l1_miss_rate: float
+    flit_hops: float
+    bus_flits: float
+    invalidations: int
+    instructions: float
+    cycles: float
+
+    @property
+    def l2_accesses(self) -> int:
+        return self.l2_hits + self.l2_misses
+
+    @property
+    def l2_hit_rate(self) -> float:
+        total = self.l2_accesses
+        return self.l2_hits / total if total else 0.0
+
+
+class _ModelPricer:
+    """Prices transactions with the analytic latency model."""
+
+    def __init__(self, system: NetworkInMemory):
+        self.system = system
+        self.model = system.model
+        self.cfg = system.config
+        self.topology = system.topology
+        # Per-CPU step-1 probe sets never change: cache their query targets.
+        self._step1_targets: dict[int, list[Coord]] = {}
+        self._step2_targets: dict[int, list[Coord]] = {}
+
+    def _targets(self, cpu_id: int) -> tuple[list[Coord], list[Coord]]:
+        if cpu_id not in self._step1_targets:
+            plan = self.system.l2.search.plan(cpu_id)
+            topo = self.topology
+            self._step1_targets[cpu_id] = [
+                topo.clusters[c].tag_node
+                for c in plan.step1
+                if c != plan.local_cluster
+            ]
+            self._step2_targets[cpu_id] = [
+                topo.clusters[c].tag_node for c in plan.step2
+            ]
+        return self._step1_targets[cpu_id], self._step2_targets[cpu_id]
+
+    def _query_round(
+        self, cpu_node: Coord, targets: list[Coord], cycle: float
+    ) -> float:
+        """Latency of a parallel tag-query round (max round-trip)."""
+        cfg = self.cfg
+        worst = float(cfg.tag_latency)  # the direct local tag probe
+        for tag_node in targets:
+            out = self.model.packet_latency(
+                cpu_node, tag_node, cfg.request_flits, cycle
+            )
+            back = self.model.packet_latency(
+                tag_node, cpu_node, cfg.request_flits, cycle
+            )
+            worst = max(worst, out + cfg.tag_latency + back)
+        return worst
+
+    def price(self, cpu_id: int, outcome: AccessOutcome, cycle: float) -> float:
+        cfg = self.cfg
+        model = self.model
+        cpu_node = self.topology.cpu_positions[cpu_id]
+        tag_node = outcome.tag_node
+        bank_node = outcome.bank_node
+
+        # Background traffic first: migrations and swaps load the network
+        # but are off the critical path.
+        if outcome.migration is not None:
+            src, dst = outcome.migration
+            topo = self.topology
+            model.note_packet(
+                topo.clusters[src].center, topo.clusters[dst].center,
+                cfg.data_flits, cycle,
+            )
+            model.note_packet(
+                topo.clusters[dst].center, topo.clusters[src].center,
+                cfg.data_flits, cycle,
+            )
+
+        if self.system.setup.perfect_search:
+            return self._price_perfect(cpu_node, outcome, cycle)
+
+        step1_targets, step2_targets = self._targets(cpu_id)
+        plan = self.system.l2.search.plan(cpu_id)
+
+        is_write = outcome.access_type == AccessType.WRITE
+
+        if outcome.hit and outcome.search_step == 1:
+            # Parallel step-1 queries: the hitting cluster's path decides.
+            for target in step1_targets:
+                model.note_packet(cpu_node, target, cfg.request_flits, cycle)
+            if outcome.cluster == plan.local_cluster:
+                latency = float(cfg.tag_latency)
+            else:
+                latency = model.packet_latency(
+                    cpu_node, tag_node, cfg.request_flits, cycle, record=False
+                ) + cfg.tag_latency
+            latency += self._data_phase(
+                tag_node, bank_node, cpu_node, cycle, is_write
+            )
+            return latency
+
+        # Step 1 concluded with misses everywhere.
+        latency = self._query_round(cpu_node, step1_targets, cycle)
+
+        if outcome.hit:
+            # Step-2 multicast; the hitting cluster answers.
+            for target in step2_targets:
+                model.note_packet(cpu_node, target, cfg.request_flits, cycle)
+            latency += model.packet_latency(
+                cpu_node, tag_node, cfg.request_flits, cycle, record=False
+            ) + cfg.tag_latency
+            latency += self._data_phase(
+                tag_node, bank_node, cpu_node, cycle, is_write
+            )
+            return latency
+
+        # Full L2 miss: both rounds, then memory.
+        latency += self._query_round(cpu_node, step2_targets, cycle)
+        latency += cfg.memory_latency
+        # Refill traffic from the memory port to the home bank.
+        model.note_packet(
+            self.system.memory_node, bank_node, cfg.data_flits, cycle
+        )
+        return latency
+
+    def _data_phase(
+        self,
+        tag_node: Coord,
+        bank_node: Coord,
+        cpu_node: Coord,
+        cycle: float,
+        is_write: bool = False,
+    ) -> float:
+        """After the tag match: move the data.
+
+        Reads: the tag array forwards the request to the bank, which
+        returns the line to the CPU.  Writes: the CPU ships the line to
+        the bank (write-through); nothing returns.
+        """
+        cfg = self.cfg
+        latency = 0.0
+        if is_write:
+            if cpu_node != bank_node:
+                latency += self.model.packet_latency(
+                    cpu_node, bank_node, cfg.data_flits, cycle
+                )
+            return latency + cfg.bank_latency
+        if tag_node != bank_node:
+            latency += self.model.packet_latency(
+                tag_node, bank_node, cfg.request_flits, cycle
+            )
+        latency += cfg.bank_latency
+        if bank_node != cpu_node:
+            latency += self.model.packet_latency(
+                bank_node, cpu_node, cfg.data_flits, cycle
+            )
+        return latency
+
+    def _price_perfect(
+        self, cpu_node: Coord, outcome: AccessOutcome, cycle: float
+    ) -> float:
+        """CMP-DNUCA's perfect search: straight to the owning cluster."""
+        cfg = self.cfg
+        if outcome.hit:
+            latency = 0.0
+            if cpu_node != outcome.tag_node:
+                latency += self.model.packet_latency(
+                    cpu_node, outcome.tag_node, cfg.request_flits, cycle
+                )
+            latency += cfg.tag_latency
+            latency += self._data_phase(
+                outcome.tag_node, outcome.bank_node, cpu_node, cycle,
+                outcome.access_type == AccessType.WRITE,
+            )
+            return latency
+        latency = 0.0
+        if cpu_node != outcome.tag_node:
+            latency += self.model.packet_latency(
+                cpu_node, outcome.tag_node, cfg.request_flits, cycle
+            )
+        latency += cfg.tag_latency + cfg.memory_latency
+        self.model.note_packet(
+            self.system.memory_node, outcome.bank_node, cfg.data_flits, cycle
+        )
+        return latency
+
+    def charge_invalidations(
+        self, src: Coord, cpu_targets: list[int], cycle: float
+    ) -> None:
+        """Invalidation + ack traffic (off the critical path)."""
+        cfg = self.cfg
+        for cpu in cpu_targets:
+            node = self.topology.cpu_positions[cpu]
+            if node == src:
+                continue
+            self.model.note_packet(src, node, cfg.request_flits, cycle)
+            self.model.note_packet(node, src, cfg.request_flits, cycle)

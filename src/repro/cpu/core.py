@@ -1,0 +1,60 @@
+"""In-order single-issue core: the timing skeleton of one CPU.
+
+The core consumes a memory-reference trace.  Between references it retires
+``gap`` ordinary instructions at the base CPI; a reference that hits the
+L1 costs one (pipelined) cycle; a read or ifetch that misses stalls the
+core for the full L2 transaction latency; stores retire into the write
+buffer without stalling (their L2 traffic is still generated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.trace import OP_WRITE
+
+
+@dataclass
+class InOrderCore:
+    """Per-CPU clock and instruction accounting."""
+
+    cpu_id: int
+    cpi_base: float = 1.0
+    clock: float = 0.0
+    clock_at_reset: float = 0.0   # set when statistics are reset (warmup)
+    instructions: float = 0.0
+    memory_stall_cycles: float = 0.0
+    l2_accesses: int = 0
+
+    def reset_stats(self) -> None:
+        """Zero the accounting while keeping the clock running (warmup)."""
+        self.clock_at_reset = self.clock
+        self.instructions = 0.0
+        self.memory_stall_cycles = 0.0
+        self.l2_accesses = 0
+
+    def retire_gap(self, gap: int) -> None:
+        """Execute ``gap`` non-memory instructions."""
+        self.clock += gap * self.cpi_base
+        self.instructions += gap
+
+    def retire_reference(self, op: int, stall_cycles: float) -> None:
+        """Execute one memory instruction with the given L2 stall.
+
+        Stores never stall (buffered write-through); reads and fetches
+        stall for the full transaction latency when ``stall_cycles`` > 0.
+        """
+        self.clock += self.cpi_base
+        self.instructions += 1
+        if op != OP_WRITE and stall_cycles > 0:
+            self.clock += stall_cycles
+            self.memory_stall_cycles += stall_cycles
+
+    @property
+    def measured_cycles(self) -> float:
+        return self.clock - self.clock_at_reset
+
+    @property
+    def ipc(self) -> float:
+        cycles = self.measured_cycles
+        return self.instructions / cycles if cycles > 0 else 0.0

@@ -1,0 +1,41 @@
+"""Memory-reference trace representation.
+
+A trace event is a plain tuple ``(gap, op, address)`` — the number of
+non-memory instructions executed since the previous event, the operation
+kind, and the byte address.  Tuples (rather than objects) keep the
+generator and the simulation loop fast enough for the million-reference
+runs the figure sweeps need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+OP_READ = 0
+OP_WRITE = 1
+OP_IFETCH = 2
+
+_OP_NAMES = {OP_READ: "read", OP_WRITE: "write", OP_IFETCH: "ifetch"}
+
+# (gap instructions, op code, byte address)
+TraceEvent = tuple[int, int, int]
+
+
+def op_name(op: int) -> str:
+    try:
+        return _OP_NAMES[op]
+    except KeyError:
+        raise ValueError(f"unknown op code {op}") from None
+
+
+def validate_trace(events: Iterable[TraceEvent]) -> Iterator[TraceEvent]:
+    """Validate events lazily; raises on the first malformed one."""
+    for event in events:
+        gap, op, address = event
+        if gap < 0:
+            raise ValueError(f"negative instruction gap in {event}")
+        if op not in _OP_NAMES:
+            raise ValueError(f"unknown op code in {event}")
+        if address < 0:
+            raise ValueError(f"negative address in {event}")
+        yield event

@@ -1,0 +1,21 @@
+"""Dynamic-TDMA vertical bus ("communication pillar") substrate.
+
+The paper's key interconnect proposal: instead of extending the mesh into
+the third dimension with 7-port routers, vertically adjacent routers at a
+pillar location share a dynamic time-division-multiple-access bus spanning
+all device layers.  A central arbiter grows and shrinks the slot schedule
+to match the set of active transmitters, so the bus approaches 100%
+bandwidth efficiency and gives single-hop communication between any two
+layers.
+"""
+
+from repro.dtdma.arbiter import DynamicTDMAArbiter, control_wire_count
+from repro.dtdma.transceiver import Transceiver
+from repro.dtdma.bus import PillarBus
+
+__all__ = [
+    "DynamicTDMAArbiter",
+    "control_wire_count",
+    "Transceiver",
+    "PillarBus",
+]

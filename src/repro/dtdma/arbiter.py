@@ -1,0 +1,83 @@
+"""dTDMA bus arbiter: dynamic slot allocation among active clients.
+
+The arbiter implements the defining property of the dTDMA bus [Richardson
+et al., VLSI Design 2006]: the TDMA frame always contains exactly one slot
+per *active* client, growing and shrinking as clients start and stop
+transmitting.  At flit granularity this is equivalent to round-robin
+arbitration over the set of clients with pending flits, which is how we
+realize it cycle by cycle: every active client receives 1/k of the bus
+bandwidth when k clients are active, and the bus idles only when no client
+has data — i.e. it is nearly 100% bandwidth-efficient.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Optional
+
+from repro.sim.stats import StatsRegistry
+
+
+def control_wire_count(num_layers: int) -> int:
+    """Control wires from the arbiter to all layers: ``3n + log2(n)``.
+
+    This is the paper's formula for an ``n``-layer pillar (Section 3.1);
+    e.g. a 4-layer chip needs 3*4 + 2 = 14 control wires per pillar.
+    """
+    if num_layers < 1:
+        raise ValueError("a pillar spans at least one layer")
+    if num_layers == 1:
+        return 3
+    return 3 * num_layers + math.ceil(math.log2(num_layers))
+
+
+class DynamicTDMAArbiter:
+    """Grants the bus to one active client per cycle, round-robin.
+
+    Clients are arbitrary hashable identifiers.  The caller supplies the set
+    of clients that currently have a transmittable flit; the arbiter picks
+    the next one after the previous grant in a fixed circular order.  This
+    realizes the dynamically sized TDMA frame: with k active clients the
+    grant pattern cycles through exactly those k clients.
+    """
+
+    def __init__(self, clients: Iterable[Hashable], stats: Optional[StatsRegistry] = None):
+        self.clients = list(clients)
+        if not self.clients:
+            raise ValueError("arbiter needs at least one client")
+        self._position = {client: index for index, client in enumerate(self.clients)}
+        self._last_granted_index = len(self.clients) - 1
+        self.stats = stats or StatsRegistry("dtdma.arbiter")
+        self._grants = self.stats.counter("arbiter.grants")
+        self._idle = self.stats.counter("arbiter.idle_cycles")
+        self._active_hist = self.stats.histogram("arbiter.active_clients", 1.0, 64)
+
+    def add_client(self, client: Hashable) -> None:
+        if client in self._position:
+            raise ValueError(f"duplicate client {client!r}")
+        self._position[client] = len(self.clients)
+        self.clients.append(client)
+
+    def grant(self, active: set[Hashable]) -> Optional[Hashable]:
+        """Pick the next active client in circular order, or ``None``.
+
+        ``active`` is the set of clients with a deliverable flit this cycle.
+        """
+        self._active_hist.add(len(active))
+        if not active:
+            self._idle.increment()
+            return None
+        count = len(self.clients)
+        for offset in range(1, count + 1):
+            index = (self._last_granted_index + offset) % count
+            client = self.clients[index]
+            if client in active:
+                self._last_granted_index = index
+                self._grants.increment()
+                return client
+        return None
+
+    @property
+    def utilization_samples(self) -> tuple[int, int]:
+        """(granted cycles, idle cycles) for bandwidth-efficiency checks."""
+        return self._grants.value, self._idle.value

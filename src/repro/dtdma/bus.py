@@ -1,0 +1,172 @@
+"""The communication pillar: a dTDMA bus spanning all device layers.
+
+One :class:`PillarBus` connects the ``VERTICAL`` ports of the routers at a
+fixed (x, y) location on every layer.  Each cycle the arbiter grants the
+bus to at most one (layer, virtual-channel) client whose head flit can be
+delivered; the flit crosses to its destination layer in a single hop (the
+tens-of-microns inter-wafer distance makes vertical propagation sub-cycle,
+so transfer takes one bus cycle regardless of how many layers are crossed).
+
+Wormhole integrity across the bus is preserved by bus-level virtual-channel
+allocation: a transmitting layer acquires the destination layer's input VC
+at the head flit and holds it until the tail flit, so flits of different
+packets never interleave within a receiving VC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import ClockedComponent, Engine
+from repro.sim.stats import StatsRegistry
+from repro.noc.flit import Flit
+from repro.noc.router import Router, InputPort
+from repro.noc.routing import Port
+from repro.dtdma.arbiter import DynamicTDMAArbiter
+from repro.dtdma.transceiver import Transceiver
+
+# A bus client is one (layer, vc) transmit queue.
+Client = tuple[int, int]
+
+
+class PillarBus(ClockedComponent):
+    """dTDMA bus pillar connecting pillar routers across layers.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    xy:
+        In-plane coordinates of the pillar (same on every layer).
+    routers:
+        The pillar routers, one per layer, indexed by layer number.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        xy: tuple[int, int],
+        routers: dict[int, Router],
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.engine = engine
+        self.xy = xy
+        self.layers = sorted(routers)
+        self.stats = stats or StatsRegistry(f"pillar{xy}")
+        if len(self.layers) < 2:
+            raise ValueError("a pillar must span at least two layers")
+        num_vcs = routers[self.layers[0]].num_vcs
+        vc_depth = routers[self.layers[0]].vc_depth
+        self.num_vcs = num_vcs
+
+        self.transceivers: dict[int, Transceiver] = {}
+        self._rx_ports: dict[int, InputPort] = {}
+        self._rx_credits: dict[int, list[int]] = {}
+        # Bus-level VC allocation: (dest_layer, vc) -> owning (src_layer, vc)
+        self._vc_owner: dict[Client, Optional[Client]] = {}
+
+        for layer, router in routers.items():
+            transceiver = Transceiver(layer, num_vcs, vc_depth)
+            self.transceivers[layer] = transceiver
+
+            # Router VERTICAL output feeds the transceiver's TX queue.
+            output_port = router.add_output_port(
+                Port.VERTICAL,
+                downstream_depth=vc_depth,
+                deliver=transceiver.accept,
+            )
+            transceiver.credit_return = (
+                lambda vc, op=output_port: engine.schedule(
+                    1, lambda: op.return_credit(vc)
+                )
+            )
+
+            # Bus receive side is the router's VERTICAL input port.
+            rx_port = router.add_input_port(Port.VERTICAL)
+            self._rx_ports[layer] = rx_port
+            self._rx_credits[layer] = [vc_depth] * num_vcs
+            rx_port.credit_return = (
+                lambda vc, lay=layer: engine.schedule(
+                    1, lambda: self._return_rx_credit(lay, vc)
+                )
+            )
+            for vc in range(num_vcs):
+                self._vc_owner[(layer, vc)] = None
+
+        clients: list[Client] = [
+            (layer, vc) for layer in self.layers for vc in range(num_vcs)
+        ]
+        self.arbiter = DynamicTDMAArbiter(clients, stats=self.stats)
+        self._granted: Optional[Client] = None
+        self._busy = self.stats.counter("bus.busy_cycles")
+        self._cycles = self.stats.counter("bus.total_cycles")
+        self._transfers = self.stats.counter("bus.flit_transfers")
+        self._queue_hist = self.stats.histogram("bus.tx_occupancy", 1.0, 64)
+
+    # -- credit bookkeeping -----------------------------------------------
+
+    def _return_rx_credit(self, layer: int, vc: int) -> None:
+        self._rx_credits[layer][vc] += 1
+
+    # -- per-cycle operation -----------------------------------------------
+
+    def _deliverable(self, client: Client) -> bool:
+        """Can this (layer, vc) transmit its head flit right now?"""
+        layer, vc = client
+        flit = self.transceivers[layer].head(vc)
+        if flit is None:
+            return False
+        dest_layer = flit.packet.dest.z
+        if dest_layer == layer:
+            raise RuntimeError(
+                f"flit at pillar {self.xy} layer {layer} targets its own layer"
+            )
+        if dest_layer not in self._rx_ports:
+            raise RuntimeError(
+                f"pillar {self.xy} does not reach layer {dest_layer}"
+            )
+        owner = self._vc_owner[(dest_layer, vc)]
+        if flit.is_head:
+            if owner is not None and owner != client:
+                return False
+        else:
+            if owner != client:
+                return False
+        return self._rx_credits[dest_layer][vc] > 0
+
+    def evaluate(self, cycle: int) -> None:
+        self._cycles.increment()
+        active = {
+            client
+            for client in self.arbiter.clients
+            if self._deliverable(client)
+        }
+        self._queue_hist.add(
+            sum(t.occupancy for t in self.transceivers.values())
+        )
+        self._granted = self.arbiter.grant(active)
+
+    def advance(self, cycle: int) -> None:
+        if self._granted is None:
+            return
+        layer, vc = self._granted
+        flit = self.transceivers[layer].pop(vc)
+        dest_layer = flit.packet.dest.z
+        self._rx_credits[dest_layer][vc] -= 1
+        if flit.is_head:
+            self._vc_owner[(dest_layer, vc)] = (layer, vc)
+        if flit.is_tail:
+            self._vc_owner[(dest_layer, vc)] = None
+        rx_port = self._rx_ports[dest_layer]
+        self.engine.schedule(1, lambda f=flit, v=vc: rx_port.accept(f, v))
+        self._busy.increment()
+        self._transfers.increment()
+        self._granted = None
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cycles the bus carried a flit."""
+        total = self._cycles.value
+        return self._busy.value / total if total else 0.0

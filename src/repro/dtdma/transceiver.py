@@ -1,0 +1,54 @@
+"""dTDMA bus transceiver: the per-layer interface between router and bus.
+
+Each pillar router owns one transceiver (the Rx/Tx module of the paper's
+Figure 5).  Its transmit side is a small per-VC FIFO that the router's
+``VERTICAL`` output port treats as an ordinary downstream buffer; its
+receive side is simply the router's ``VERTICAL`` input port, which the bus
+delivers into directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.noc.flit import Flit
+
+
+class Transceiver:
+    """Transmit-side buffering for one layer's attachment to a pillar.
+
+    The router's ``VERTICAL`` output port delivers into :meth:`accept`;
+    the bus pops flits via :meth:`pop` when the arbiter grants this layer a
+    slot.  ``credit_return`` is wired back to that output port so the
+    router sees freed slots.
+    """
+
+    def __init__(self, layer: int, num_vcs: int, depth: int):
+        self.layer = layer
+        self.num_vcs = num_vcs
+        self.depth = depth
+        self.queues: list[deque[Flit]] = [deque() for __ in range(num_vcs)]
+        self.credit_return: Optional[Callable[[int], None]] = None
+
+    def accept(self, flit: Flit, vc: int) -> None:
+        queue = self.queues[vc]
+        if len(queue) >= self.depth:
+            raise RuntimeError(
+                f"transceiver overflow at layer {self.layer} vc={vc}"
+            )
+        queue.append(flit)
+
+    def head(self, vc: int) -> Optional[Flit]:
+        queue = self.queues[vc]
+        return queue[0] if queue else None
+
+    def pop(self, vc: int) -> Flit:
+        flit = self.queues[vc].popleft()
+        if self.credit_return is not None:
+            self.credit_return(vc)
+        return flit
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(queue) for queue in self.queues)

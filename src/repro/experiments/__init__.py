@@ -1,0 +1,25 @@
+"""Reproduction harness: one module per table/figure in the paper.
+
+Each experiment module exposes a ``run(...)`` function returning
+structured results and a ``main()`` that prints the paper-style table.
+Run them all from the command line::
+
+    python -m repro.experiments.fig13        # avg L2 hit latency
+    python -m repro.experiments.fig14        # migration counts
+    python -m repro.experiments.fig15        # IPC
+    python -m repro.experiments.fig16        # cache-size scaling
+    python -m repro.experiments.fig17        # pillar count sweep
+    python -m repro.experiments.fig18        # layer count sweep
+    python -m repro.experiments.table1       # component area/power
+    python -m repro.experiments.table2       # via-pitch pillar area
+    python -m repro.experiments.table3       # thermal profiles
+    python -m repro.experiments.table5       # workload characterization
+
+Scale knobs live in :mod:`repro.experiments.config`; the ``REPRO_SCALE``
+environment variable selects ``quick`` (default) or ``full``.
+"""
+
+from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.runner import run_scheme, SCHEME_ORDER
+
+__all__ = ["ExperimentScale", "current_scale", "run_scheme", "SCHEME_ORDER"]

@@ -1,0 +1,59 @@
+"""Figure 13: average L2 hit latency under the four schemes.
+
+Paper shape targets: CMP-DNUCA and CMP-DNUCA-2D are competitive;
+CMP-SNUCA-3D beats CMP-DNUCA-2D by ~10 cycles on average despite doing no
+migration; CMP-DNUCA-3D saves a further ~7 cycles (~17 total).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schemes import Scheme
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+from repro.experiments.config import ExperimentScale
+from repro.experiments.runner import run_scheme, format_table, SCHEME_ORDER
+
+
+def run(
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[str, dict[Scheme, float]]:
+    """Average L2 hit latency per benchmark per scheme (cycles)."""
+    results: dict[str, dict[Scheme, float]] = {}
+    for benchmark in benchmarks:
+        results[benchmark] = {}
+        for scheme in SCHEME_ORDER:
+            stats = run_scheme(scheme, benchmark, scale=scale)
+            results[benchmark][scheme] = stats.avg_l2_hit_latency
+    return results
+
+
+def averages(results: dict[str, dict[Scheme, float]]) -> dict[Scheme, float]:
+    """Per-scheme mean over benchmarks."""
+    return {
+        scheme: sum(row[scheme] for row in results.values()) / len(results)
+        for scheme in SCHEME_ORDER
+    }
+
+
+def main() -> dict[str, dict[Scheme, float]]:
+    results = run()
+    rows = [
+        [bench] + [f"{results[bench][s]:.1f}" for s in SCHEME_ORDER]
+        for bench in results
+    ]
+    mean = averages(results)
+    rows.append(["AVERAGE"] + [f"{mean[s]:.1f}" for s in SCHEME_ORDER])
+    print(
+        format_table(
+            ["benchmark"] + [s.value for s in SCHEME_ORDER],
+            rows,
+            title="Figure 13: average L2 hit latency (cycles)",
+        )
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Figure 14: block migrations, normalized to CMP-DNUCA-2D.
+
+Paper shape targets: the 3D scheme migrates much less frequently than the
+2D schemes (the 3D vicinity cylinder already covers the data); CMP-DNUCA
+(per-hit bankset promotion) migrates more than our 2D scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schemes import Scheme
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+from repro.experiments.config import ExperimentScale
+from repro.experiments.runner import run_scheme, format_table
+
+# Fig 14 plots these two, normalized against CMP-DNUCA-2D.
+PLOTTED = (Scheme.CMP_DNUCA, Scheme.CMP_DNUCA_3D)
+
+
+def run(
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[str, dict[Scheme, float]]:
+    """Migration counts normalized to CMP-DNUCA-2D, per benchmark."""
+    results: dict[str, dict[Scheme, float]] = {}
+    for benchmark in benchmarks:
+        baseline = run_scheme(
+            Scheme.CMP_DNUCA_2D, benchmark, scale=scale
+        ).migrations
+        results[benchmark] = {}
+        for scheme in PLOTTED:
+            migrations = run_scheme(scheme, benchmark, scale=scale).migrations
+            results[benchmark][scheme] = (
+                migrations / baseline if baseline else float("inf")
+            )
+    return results
+
+
+def main() -> dict[str, dict[Scheme, float]]:
+    results = run()
+    rows = [
+        [bench] + [f"{results[bench][s]:.2f}" for s in PLOTTED]
+        for bench in results
+    ]
+    mean = {
+        s: sum(r[s] for r in results.values()) / len(results) for s in PLOTTED
+    }
+    rows.append(["AVERAGE"] + [f"{mean[s]:.2f}" for s in PLOTTED])
+    print(
+        format_table(
+            ["benchmark"] + [s.value for s in PLOTTED],
+            rows,
+            title=(
+                "Figure 14: block migrations normalized to CMP-DNUCA-2D "
+                "(= 1.0)"
+            ),
+        )
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Figure 15: IPC under the four schemes.
+
+Paper shape targets: CMP-DNUCA-3D improves IPC over CMP-DNUCA-2D by up to
+~37% (CMP-SNUCA-3D by up to ~18%), with the largest improvements on the
+L2-intensive benchmarks mgrid, swim and wupwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schemes import Scheme
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+from repro.experiments.config import ExperimentScale
+from repro.experiments.runner import run_scheme, format_table, SCHEME_ORDER
+
+
+def run(
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[str, dict[Scheme, float]]:
+    """Aggregate IPC per benchmark per scheme."""
+    results: dict[str, dict[Scheme, float]] = {}
+    for benchmark in benchmarks:
+        results[benchmark] = {}
+        for scheme in SCHEME_ORDER:
+            stats = run_scheme(scheme, benchmark, scale=scale)
+            results[benchmark][scheme] = stats.ipc
+    return results
+
+
+def improvements(
+    results: dict[str, dict[Scheme, float]]
+) -> dict[str, dict[Scheme, float]]:
+    """Percent IPC improvement of the 3D schemes over CMP-DNUCA-2D."""
+    out: dict[str, dict[Scheme, float]] = {}
+    for benchmark, row in results.items():
+        base = row[Scheme.CMP_DNUCA_2D]
+        out[benchmark] = {
+            scheme: (row[scheme] / base - 1.0) * 100.0
+            for scheme in (Scheme.CMP_SNUCA_3D, Scheme.CMP_DNUCA_3D)
+        }
+    return out
+
+
+def main() -> dict[str, dict[Scheme, float]]:
+    results = run()
+    gains = improvements(results)
+    rows = []
+    for bench in results:
+        rows.append(
+            [bench]
+            + [f"{results[bench][s]:.3f}" for s in SCHEME_ORDER]
+            + [
+                f"{gains[bench][Scheme.CMP_SNUCA_3D]:+.1f}%",
+                f"{gains[bench][Scheme.CMP_DNUCA_3D]:+.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["benchmark"]
+            + [s.value for s in SCHEME_ORDER]
+            + ["SNUCA-3D gain", "DNUCA-3D gain"],
+            rows,
+            title="Figure 15: IPC (gains relative to CMP-DNUCA-2D)",
+        )
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Figure 16: average L2 hit latency at 16 / 32 / 64 MB.
+
+The paper grows the cluster size (more banks per cluster) while keeping
+16 clusters and 16-way associativity.  Shape targets: latency grows with
+cache size under both topologies, but more slowly in 3D (~5 cycles per
+doubling vs ~7 in 2D) — 3D scales better to large caches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schemes import Scheme
+from repro.experiments.config import ExperimentScale
+from repro.experiments.runner import run_scheme, format_table
+
+# The paper's four representative benchmarks: art and galgel (low L1 miss
+# rates), mgrid and swim (high).
+BENCHMARKS = ("art", "galgel", "mgrid", "swim")
+CACHE_SIZES_MB = (16, 32, 64)
+SCHEMES = (Scheme.CMP_DNUCA_2D, Scheme.CMP_DNUCA_3D)
+
+
+def run(
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+    cache_sizes_mb: tuple[int, ...] = CACHE_SIZES_MB,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[str, dict[tuple[Scheme, int], float]]:
+    """hit latency[benchmark][(scheme, cache MB)]."""
+    results: dict[str, dict[tuple[Scheme, int], float]] = {}
+    for benchmark in benchmarks:
+        results[benchmark] = {}
+        for scheme in SCHEMES:
+            for cache_mb in cache_sizes_mb:
+                stats = run_scheme(
+                    scheme, benchmark, cache_mb=cache_mb, scale=scale
+                )
+                results[benchmark][(scheme, cache_mb)] = (
+                    stats.avg_l2_hit_latency
+                )
+    return results
+
+
+def growth_per_doubling(
+    results: dict[str, dict[tuple[Scheme, int], float]], scheme: Scheme
+) -> float:
+    """Mean latency increase per cache doubling for a scheme (cycles)."""
+    deltas = []
+    for row in results.values():
+        sizes = sorted({mb for (s, mb) in row if s == scheme})
+        for small, large in zip(sizes, sizes[1:]):
+            deltas.append(row[(scheme, large)] - row[(scheme, small)])
+    return sum(deltas) / len(deltas) if deltas else 0.0
+
+
+def main() -> dict[str, dict[tuple[Scheme, int], float]]:
+    results = run()
+    headers = ["benchmark"] + [
+        f"{s.value}@{mb}MB" for s in SCHEMES for mb in CACHE_SIZES_MB
+    ]
+    rows = [
+        [bench]
+        + [
+            f"{results[bench][(s, mb)]:.1f}"
+            for s in SCHEMES
+            for mb in CACHE_SIZES_MB
+        ]
+        for bench in results
+    ]
+    print(
+        format_table(
+            headers, rows,
+            title="Figure 16: average L2 hit latency vs cache size (cycles)",
+        )
+    )
+    for scheme in SCHEMES:
+        print(
+            f"mean growth per doubling, {scheme.value}: "
+            f"{growth_per_doubling(results, scheme):.1f} cycles"
+        )
+    return results
+
+
+if __name__ == "__main__":
+    main()

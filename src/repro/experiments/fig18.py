@@ -1,0 +1,62 @@
+"""Figure 18: impact of the layer count on CMP-SNUCA-3D.
+
+More layers shrink each layer's footprint, cutting in-plane distances
+(Figure 2's sqrt(n) wire-length scaling), at the thermal cost shown in
+Table 3.  Shape target: 2 -> 4 layers saves 3-8 cycles of L2 latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schemes import Scheme
+from repro.experiments.config import ExperimentScale
+from repro.experiments.runner import run_scheme, format_table
+
+BENCHMARKS = ("art", "galgel", "mgrid", "swim")
+LAYER_COUNTS = (2, 4)
+
+
+def run(
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+    layer_counts: tuple[int, ...] = LAYER_COUNTS,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[str, dict[int, float]]:
+    """hit latency[benchmark][layer count] for CMP-SNUCA-3D."""
+    results: dict[str, dict[int, float]] = {}
+    for benchmark in benchmarks:
+        results[benchmark] = {}
+        for layers in layer_counts:
+            stats = run_scheme(
+                Scheme.CMP_SNUCA_3D, benchmark,
+                num_layers=layers, scale=scale,
+            )
+            results[benchmark][layers] = stats.avg_l2_hit_latency
+    return results
+
+
+def main() -> dict[str, dict[int, float]]:
+    results = run()
+    rows = [
+        [bench]
+        + [f"{results[bench][layers]:.1f}" for layers in LAYER_COUNTS]
+        + [f"{results[bench][2] - results[bench][4]:+.1f}"]
+        for bench in results
+    ]
+    print(
+        format_table(
+            ["benchmark"]
+            + [f"{layers} layers" for layers in LAYER_COUNTS]
+            + ["saved 2->4"],
+            rows,
+            title=(
+                "Figure 18: average L2 hit latency vs layer count, "
+                "CMP-SNUCA-3D (cycles)"
+            ),
+        )
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Rendering helpers: ASCII bar charts for the figure reproductions.
+
+The paper's figures are grouped bar charts (Figs 13-15) and small line
+series (Figs 16-18); these helpers render equivalent text charts so the
+experiment modules and the CLI can show shapes directly in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_BAR = "#"
+
+
+def bar_chart(
+    series: Mapping[str, float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """One horizontal bar per entry, scaled to the maximum value."""
+    if not series:
+        return "(empty)"
+    peak = max(series.values())
+    label_width = max(len(str(label)) for label in series)
+    lines = []
+    for label, value in series.items():
+        length = int(round(value / peak * width)) if peak > 0 else 0
+        lines.append(
+            f"{str(label).rjust(label_width)} |{_BAR * length} "
+            f"{value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Paper-style grouped bars: one block per group (benchmark), one bar
+    per series (scheme)."""
+    if not groups:
+        return "(empty)"
+    peak = max(
+        value for group in groups.values() for value in group.values()
+    )
+    series_width = max(
+        len(str(name)) for group in groups.values() for name in group
+    )
+    lines = []
+    for group_label, group in groups.items():
+        lines.append(f"{group_label}:")
+        for name, value in group.items():
+            length = int(round(value / peak * width)) if peak > 0 else 0
+            lines.append(
+                f"  {str(name).rjust(series_width)} |{_BAR * length} "
+                f"{value:.2f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def trend_lines(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    unit: str = "",
+) -> str:
+    """Small multiples for the sweep figures: x -> y per series."""
+    lines = []
+    for name, points in series.items():
+        rendered = "  ".join(f"{x:g}:{y:.1f}{unit}" for x, y in points)
+        first, last = points[0][1], points[-1][1]
+        arrow = "falling" if last < first else "rising"
+        lines.append(f"{name}: {rendered}   [{arrow}]")
+    return "\n".join(lines)

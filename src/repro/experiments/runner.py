@@ -1,0 +1,67 @@
+"""Shared experiment runner: one (scheme, benchmark, topology) simulation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schemes import Scheme
+from repro.core.system import NetworkInMemory, SystemConfig, RunStats
+from repro.workloads.generator import SyntheticWorkload
+from repro.experiments.config import ExperimentScale, current_scale
+
+# The paper's presentation order (Fig 13/15 legends).
+SCHEME_ORDER: tuple[Scheme, ...] = (
+    Scheme.CMP_DNUCA,
+    Scheme.CMP_DNUCA_2D,
+    Scheme.CMP_SNUCA_3D,
+    Scheme.CMP_DNUCA_3D,
+)
+
+
+def run_scheme(
+    scheme: Scheme,
+    benchmark: str,
+    cache_mb: int = 16,
+    num_layers: int = 2,
+    num_pillars: int = 8,
+    scale: Optional[ExperimentScale] = None,
+    system_config: Optional[SystemConfig] = None,
+) -> RunStats:
+    """Simulate one scheme on one benchmark at the given scale."""
+    scale = scale or current_scale()
+    config = system_config or SystemConfig(
+        scheme=scheme,
+        cache_mb=cache_mb,
+        num_layers=num_layers,
+        num_pillars=num_pillars,
+    )
+    system = NetworkInMemory(config)
+    workload = SyntheticWorkload(
+        benchmark,
+        num_cpus=config.num_cpus,
+        refs_per_cpu=scale.refs_per_cpu,
+        seed=scale.seed,
+    )
+    return system.run_trace(
+        workload.traces(), warmup_events=scale.warmup_events
+    )
+
+
+def format_table(
+    headers: list[str], rows: list[list[str]], title: str = ""
+) -> str:
+    """Plain-text table used by every experiment's ``main``."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

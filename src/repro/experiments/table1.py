@@ -1,0 +1,38 @@
+"""Table 1: area and power of the dTDMA components vs a 5-port router."""
+
+from __future__ import annotations
+
+from repro.models.components import table1_rows, pillar_overhead_vs_router
+from repro.experiments.runner import format_table
+
+
+def run() -> list[tuple[str, float, float]]:
+    return table1_rows()
+
+
+def main() -> list[tuple[str, float, float]]:
+    rows = run()
+    formatted = []
+    for name, power_w, area_mm2 in rows:
+        power = (
+            f"{power_w * 1e3:.2f} mW" if power_w >= 1e-3
+            else f"{power_w * 1e6:.2f} uW"
+        )
+        formatted.append([name, power, f"{area_mm2:.8g} mm^2"])
+    print(
+        format_table(
+            ["Component", "Power", "Area"],
+            formatted,
+            title="Table 1: area and power overhead of the dTDMA bus (90 nm)",
+        )
+    )
+    power_ratio, area_ratio = pillar_overhead_vs_router(num_layers=4)
+    print(
+        f"4-layer pillar hardware vs one router: "
+        f"{power_ratio * 100:.3f}% power, {area_ratio * 100:.3f}% area"
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Analytic area / power / timing models.
+
+Everything the paper takes from synthesis (Table 1), via-pitch geometry
+(Table 2), Cacti 3.2 (bank and tag latencies), and the 3D wire-length
+literature (Figure 2's sqrt(n) scaling) lives here as small, documented,
+testable models.
+"""
+
+from repro.models.components import (
+    ComponentSpec,
+    NOC_ROUTER_5PORT,
+    DTDMA_RX_TX,
+    DTDMA_ARBITER,
+    table1_rows,
+)
+from repro.models.via import (
+    pillar_wire_count,
+    pillar_area_um2,
+    table2_rows,
+    VIA_PITCHES_UM,
+)
+from repro.models.cacti import CactiModel, CacheArraySpec
+from repro.models.wiring import wire_length_scale_factor, average_wire_length_mm
+
+__all__ = [
+    "ComponentSpec",
+    "NOC_ROUTER_5PORT",
+    "DTDMA_RX_TX",
+    "DTDMA_ARBITER",
+    "table1_rows",
+    "pillar_wire_count",
+    "pillar_area_um2",
+    "table2_rows",
+    "VIA_PITCHES_UM",
+    "CactiModel",
+    "CacheArraySpec",
+    "wire_length_scale_factor",
+    "average_wire_length_mm",
+]

@@ -1,0 +1,35 @@
+"""3D wire-length scaling (the paper's Figure 2).
+
+Joyner et al.'s stochastic net-length result: stacking a design across
+``n`` layers shrinks average interconnect length by a factor of
+``sqrt(n)``, because each layer's footprint shrinks by ``n`` and lateral
+distance scales with the footprint's edge.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def wire_length_scale_factor(num_layers: int) -> float:
+    """Average wire-length reduction factor for an ``n``-layer stack."""
+    if num_layers < 1:
+        raise ValueError("need at least one layer")
+    return math.sqrt(num_layers)
+
+
+def average_wire_length_mm(
+    base_length_mm: float, num_layers: int
+) -> float:
+    """Average wire length after folding onto ``num_layers`` layers."""
+    if base_length_mm < 0:
+        raise ValueError("length must be non-negative")
+    return base_length_mm / wire_length_scale_factor(num_layers)
+
+
+def mesh_hop_wire_mm(bank_area_mm2: float = 2.25) -> float:
+    """Inter-router wire for one bank tile (~1.5 mm at 70 nm, the paper's
+    figure for a 64 KB bank)."""
+    if bank_area_mm2 <= 0:
+        raise ValueError("area must be positive")
+    return math.sqrt(bank_area_mm2)

@@ -1,0 +1,66 @@
+"""Flit: the unit of network transfer.
+
+Packets are segmented into flits for wormhole switching.  The paper uses
+128-bit flits and 4-flit packets so that one 64-byte cache line fits in a
+single packet.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.noc.packet import Packet
+
+_flit_ids = itertools.count()
+
+
+class FlitType(enum.Enum):
+    """Position of a flit within its packet."""
+
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    HEAD_TAIL = "head_tail"  # single-flit packet
+
+    @property
+    def is_head(self) -> bool:
+        return self in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+
+class Flit:
+    """One flow-control unit of a packet.
+
+    Flits carry a reference to their parent packet (for routing state) and
+    their position within it, plus bookkeeping timestamps used to compute
+    network latency statistics.
+    """
+
+    __slots__ = ("packet", "flit_type", "index", "flit_id", "injected_cycle")
+
+    def __init__(self, packet: "Packet", flit_type: FlitType, index: int):
+        self.packet = packet
+        self.flit_type = flit_type
+        self.index = index
+        self.flit_id = next(_flit_ids)
+        self.injected_cycle: int | None = None
+
+    @property
+    def is_head(self) -> bool:
+        return self.flit_type.is_head
+
+    @property
+    def is_tail(self) -> bool:
+        return self.flit_type.is_tail
+
+    def __repr__(self) -> str:
+        return (
+            f"Flit(pkt={self.packet.packet_id}, {self.flit_type.value}, "
+            f"idx={self.index})"
+        )

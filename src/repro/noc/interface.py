@@ -1,0 +1,124 @@
+"""Network interface controller (NIC): packet injection and ejection.
+
+Every node (cache bank, CPU, or tag-array logic block) talks to its router
+through a NIC.  Injection segments packets into flits and feeds them into
+the router's ``LOCAL`` input port under normal VC/credit rules; ejection
+reassembles flits arriving on the ``LOCAL`` output port and fires a
+completion callback with the whole packet.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.sim.engine import ClockedComponent, Engine
+from repro.sim.stats import StatsRegistry
+from repro.noc.flit import Flit
+from repro.noc.packet import Packet
+from repro.noc.router import Router, OutputPort
+from repro.noc.routing import Port
+
+
+class NetworkInterface(ClockedComponent):
+    """Injection/ejection endpoint attached to one router.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine (for link delays and credit returns).
+    router:
+        The router this NIC is the local client of.
+    on_packet:
+        Callback invoked with each fully ejected :class:`Packet`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        router: Router,
+        on_packet: Optional[Callable[[Packet], None]] = None,
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.engine = engine
+        self.router = router
+        self.on_packet = on_packet
+        self.stats = stats or StatsRegistry(f"nic{router.coord}")
+        self._inject_queue: deque[Packet] = deque()
+        self._current_flits: deque[Flit] = deque()
+        self._current_vc: Optional[int] = None
+        self._ejected_packets: list[Packet] = []
+        self._latency_hist = self.stats.histogram("nic.packet_latency")
+        self._injected = self.stats.counter("nic.packets_injected")
+        self._received = self.stats.counter("nic.packets_received")
+
+        # Injection path: NIC output -> router LOCAL input.
+        local_input = router.add_input_port(Port.LOCAL)
+
+        def deliver(flit: Flit, vc: int) -> None:
+            engine.schedule(1, lambda: local_input.accept(flit, vc))
+
+        self._output = OutputPort(
+            Port.LOCAL, router.num_vcs, router.vc_depth, deliver
+        )
+
+        def credit_return(vc: int) -> None:
+            engine.schedule(1, lambda: self._output.return_credit(vc))
+
+        local_input.credit_return = credit_return
+
+        # Ejection path: router LOCAL output -> NIC sink (always accepts).
+        router.add_output_port(
+            Port.LOCAL, downstream_depth=1_000_000, deliver=self._eject
+        )
+
+    # -- injection --------------------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Queue a packet for transmission; latency clock starts now."""
+        packet.created_cycle = self.engine.cycle
+        self._inject_queue.append(packet)
+
+    @property
+    def pending_injections(self) -> int:
+        return len(self._inject_queue) + len(self._current_flits)
+
+    def evaluate(self, cycle: int) -> None:
+        pass
+
+    def advance(self, cycle: int) -> None:
+        if not self._current_flits:
+            if not self._inject_queue:
+                return
+            vc = self._output.free_vc()
+            if vc is None:
+                return
+            packet = self._inject_queue.popleft()
+            packet.injected_cycle = cycle
+            self._current_flits = deque(packet.make_flits())
+            self._current_vc = vc
+            self._injected.increment()
+        if self._output.credits[self._current_vc] > 0:
+            flit = self._current_flits.popleft()
+            flit.injected_cycle = cycle
+            self._output.send(flit, self._current_vc)
+            if not self._current_flits:
+                self._current_vc = None
+
+    # -- ejection ---------------------------------------------------------
+
+    def _eject(self, flit: Flit, vc: int) -> None:
+        if flit.is_tail:
+            packet = flit.packet
+            packet.ejected_cycle = self.engine.cycle
+            self._received.increment()
+            if packet.latency is not None:
+                self._latency_hist.add(packet.latency)
+            self._ejected_packets.append(packet)
+            if self.on_packet is not None:
+                self.on_packet(packet)
+
+    def drain_ejected(self) -> list[Packet]:
+        """Return and clear the list of completed packets."""
+        packets, self._ejected_packets = self._ejected_packets, []
+        return packets

@@ -1,0 +1,35 @@
+"""Point-to-point link: a fixed-latency flit conduit.
+
+Mesh links between routers are created by :func:`repro.noc.router.connect`;
+this standalone class serves the places where a delayed flit hand-off is
+needed outside a router-to-router connection (network interfaces and the
+dTDMA bus transceivers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Engine
+from repro.noc.flit import Flit
+
+
+class Link:
+    """Delivers flits to ``sink(flit, vc)`` after ``latency`` cycles."""
+
+    def __init__(self, engine: Engine, sink: Callable[[Flit, int], None], latency: int = 1):
+        if latency < 0:
+            raise ValueError("link latency must be non-negative")
+        self.engine = engine
+        self.sink = sink
+        self.latency = latency
+        self.flits_carried = 0
+
+    def send(self, flit: Flit, vc: int) -> None:
+        self.flits_carried += 1
+        if self.latency == 0:
+            self.sink(flit, vc)
+        else:
+            self.engine.schedule(
+                self.latency, lambda f=flit, v=vc: self.sink(f, v)
+            )

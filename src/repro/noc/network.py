@@ -1,0 +1,194 @@
+"""Network assembly: 3D mesh-plus-pillars fabric construction.
+
+Builds the complete interconnect of the Network-in-Memory architecture:
+one wormhole mesh per device layer, a NIC at every node, and a dTDMA bus
+pillar at each configured pillar location bridging all layers.  A
+single-layer configuration (no pillars) is the conventional 2D NUCA
+network the paper compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsRegistry
+from repro.noc.packet import Packet, MessageClass
+from repro.noc.router import Router, connect
+from repro.noc.routing import Coord, Port, best_pillar
+from repro.noc.interface import NetworkInterface
+
+
+@dataclass
+class NetworkConfig:
+    """Parameters of the interconnect fabric (paper Table 4 defaults)."""
+
+    width: int = 16          # mesh columns (x) per layer
+    height: int = 8          # mesh rows (y) per layer
+    layers: int = 2          # device layers
+    pillar_locations: tuple[tuple[int, int], ...] = ()
+    num_vcs: int = 3         # virtual channels per physical channel
+    vc_depth: int = 4        # flits per VC (one 4-flit message)
+    # Mesh link traversal: one cycle in the router plus one on the wire.
+    # At 70 nm a 64 KB bank tile is ~1.5 mm across, so the inter-router
+    # wire is a full clock cycle — unlike the 10 um inter-layer vias,
+    # whose traversal is folded into the dTDMA bus slot.  This asymmetry
+    # is the physical basis of the 3D advantage.
+    link_latency: int = 2
+    flit_bits: int = 128     # link width
+    packet_flits: int = 4    # flits per cache-line packet (64 B line)
+
+    def validate(self) -> None:
+        if self.width < 1 or self.height < 1 or self.layers < 1:
+            raise ValueError("network dimensions must be positive")
+        if self.layers > 1 and not self.pillar_locations:
+            raise ValueError("multi-layer networks require pillars")
+        for x, y in self.pillar_locations:
+            if not (0 <= x < self.width and 0 <= y < self.height):
+                raise ValueError(f"pillar ({x},{y}) outside the mesh")
+        if len(set(self.pillar_locations)) != len(self.pillar_locations):
+            raise ValueError("duplicate pillar locations")
+
+    @property
+    def nodes_per_layer(self) -> int:
+        return self.width * self.height
+
+    @property
+    def total_nodes(self) -> int:
+        return self.nodes_per_layer * self.layers
+
+
+class Network:
+    """The full interconnect: routers, links, NICs, and pillars.
+
+    The network owns its :class:`~repro.sim.engine.Engine` unless one is
+    passed in (so cache/CPU models can share the clock).
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        engine: Optional[Engine] = None,
+        stats: Optional[StatsRegistry] = None,
+    ):
+        config.validate()
+        self.config = config
+        self.engine = engine or Engine("network")
+        self.stats = stats or StatsRegistry("network")
+        self.routers: dict[Coord, Router] = {}
+        self.nics: dict[Coord, NetworkInterface] = {}
+        self.pillars: dict[tuple[int, int], "PillarBus"] = {}
+        self._packet_callbacks: list[Callable[[Packet], None]] = []
+        self._in_flight = 0
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        cfg = self.config
+        for coord in self.coords():
+            router = Router(coord, cfg.num_vcs, cfg.vc_depth, stats=self.stats)
+            self.routers[coord] = router
+            self.engine.register(router)
+
+        # Mesh links within each layer.
+        for coord, router in self.routers.items():
+            east = Coord(coord.x + 1, coord.y, coord.z)
+            if east in self.routers:
+                connect(self.engine, router, Port.EAST,
+                        self.routers[east], Port.WEST, cfg.link_latency)
+                connect(self.engine, self.routers[east], Port.WEST,
+                        router, Port.EAST, cfg.link_latency)
+            north = Coord(coord.x, coord.y + 1, coord.z)
+            if north in self.routers:
+                connect(self.engine, router, Port.NORTH,
+                        self.routers[north], Port.SOUTH, cfg.link_latency)
+                connect(self.engine, self.routers[north], Port.SOUTH,
+                        router, Port.NORTH, cfg.link_latency)
+
+        # NICs at every node.
+        for coord, router in self.routers.items():
+            nic = NetworkInterface(
+                self.engine, router, on_packet=self._on_packet, stats=self.stats
+            )
+            self.nics[coord] = nic
+            self.engine.register(nic)
+
+        # Pillars bridging the layers.
+        if cfg.layers > 1:
+            from repro.dtdma.bus import PillarBus  # local import: avoid cycle
+
+            for xy in cfg.pillar_locations:
+                pillar_routers = {
+                    z: self.routers[Coord(xy[0], xy[1], z)]
+                    for z in range(cfg.layers)
+                }
+                bus = PillarBus(self.engine, xy, pillar_routers, stats=self.stats)
+                self.pillars[xy] = bus
+                self.engine.register(bus)
+
+    def coords(self) -> Iterator[Coord]:
+        cfg = self.config
+        for z in range(cfg.layers):
+            for y in range(cfg.height):
+                for x in range(cfg.width):
+                    yield Coord(x, y, z)
+
+    # -- traffic -------------------------------------------------------------
+
+    def add_packet_callback(self, callback: Callable[[Packet], None]) -> None:
+        self._packet_callbacks.append(callback)
+
+    def _on_packet(self, packet: Packet) -> None:
+        self._in_flight -= 1
+        for callback in self._packet_callbacks:
+            callback(packet)
+
+    def send(
+        self,
+        src: Coord,
+        dest: Coord,
+        size_flits: Optional[int] = None,
+        message_class: MessageClass = MessageClass.SYNTHETIC,
+        payload: object = None,
+    ) -> Packet:
+        """Create and inject a packet from ``src`` to ``dest``."""
+        if src == dest:
+            raise ValueError("source and destination must differ")
+        if src not in self.nics or dest not in self.routers:
+            raise ValueError(f"unknown endpoint {src} or {dest}")
+        pillar_xy = None
+        if src.z != dest.z:
+            pillar_xy = best_pillar(
+                src, dest, list(self.config.pillar_locations)
+            )
+        packet = Packet(
+            src,
+            dest,
+            size_flits or self.config.packet_flits,
+            message_class,
+            pillar_xy,
+            payload,
+        )
+        self._in_flight += 1
+        self.nics[src].inject(packet)
+        return packet
+
+    @property
+    def in_flight(self) -> int:
+        """Packets injected but not yet fully ejected."""
+        return self._in_flight
+
+    def quiesce(self, max_cycles: int = 1_000_000) -> int:
+        """Run the clock until every in-flight packet is delivered."""
+        return self.engine.run_until(
+            lambda: self._in_flight == 0, max_cycles=max_cycles
+        )
+
+    # -- reporting -------------------------------------------------------------
+
+    def mean_packet_latency(self) -> float:
+        """Mean end-to-end packet latency (all NICs share one histogram)."""
+        hist = self.stats.histogram("nic.packet_latency")
+        return hist.mean

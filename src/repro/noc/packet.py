@@ -1,0 +1,113 @@
+"""Packets: multi-flit network messages.
+
+A packet knows its source and destination node coordinates and, when the
+route crosses layers, which communication pillar it will use for the
+vertical hop.  Message classes distinguish the cache-protocol traffic types
+so statistics can be broken out per class.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from repro.noc.flit import Flit, FlitType
+from repro.noc.routing import Coord
+
+_packet_ids = itertools.count()
+
+
+class MessageClass(enum.Enum):
+    """Protocol-level classification of a packet (for statistics only)."""
+
+    REQUEST = "request"          # tag search / read request (1 flit header-only)
+    DATA = "data"                # cache-line transfer (4 flits)
+    COHERENCE = "coherence"      # invalidations, acks
+    MIGRATION = "migration"      # cache-line migration transfer
+    SYNTHETIC = "synthetic"      # microbenchmark traffic
+
+
+class Packet:
+    """A network message segmented into wormhole flits.
+
+    Parameters
+    ----------
+    src, dest:
+        Node coordinates.
+    size_flits:
+        Number of flits; the paper's cache-line packet is 4 flits of
+        128 bits (64 B line).
+    message_class:
+        Traffic type for statistics.
+    pillar_xy:
+        ``(x, y)`` of the vertical pillar this packet will use when
+        ``src.z != dest.z``.  Chosen by the network at injection time.
+    """
+
+    __slots__ = (
+        "packet_id",
+        "src",
+        "dest",
+        "size_flits",
+        "message_class",
+        "pillar_xy",
+        "created_cycle",
+        "injected_cycle",
+        "ejected_cycle",
+        "payload",
+    )
+
+    def __init__(
+        self,
+        src: Coord,
+        dest: Coord,
+        size_flits: int = 4,
+        message_class: MessageClass = MessageClass.SYNTHETIC,
+        pillar_xy: Optional[tuple[int, int]] = None,
+        payload: object = None,
+    ):
+        if size_flits < 1:
+            raise ValueError("packet must contain at least one flit")
+        self.packet_id = next(_packet_ids)
+        self.src = src
+        self.dest = dest
+        self.size_flits = size_flits
+        self.message_class = message_class
+        self.pillar_xy = pillar_xy
+        self.created_cycle: Optional[int] = None
+        self.injected_cycle: Optional[int] = None
+        self.ejected_cycle: Optional[int] = None
+        self.payload = payload
+
+    def make_flits(self) -> list[Flit]:
+        """Segment the packet into its wormhole flits."""
+        if self.size_flits == 1:
+            return [Flit(self, FlitType.HEAD_TAIL, 0)]
+        flits = [Flit(self, FlitType.HEAD, 0)]
+        flits.extend(
+            Flit(self, FlitType.BODY, index)
+            for index in range(1, self.size_flits - 1)
+        )
+        flits.append(Flit(self, FlitType.TAIL, self.size_flits - 1))
+        return flits
+
+    @property
+    def latency(self) -> Optional[int]:
+        """End-to-end latency (creation to tail ejection), if complete."""
+        if self.ejected_cycle is None or self.created_cycle is None:
+            return None
+        return self.ejected_cycle - self.created_cycle
+
+    @property
+    def network_latency(self) -> Optional[int]:
+        """In-network latency (injection to tail ejection), if complete."""
+        if self.ejected_cycle is None or self.injected_cycle is None:
+            return None
+        return self.ejected_cycle - self.injected_cycle
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet({self.packet_id}: {self.src}->{self.dest}, "
+            f"{self.size_flits}f, {self.message_class.value})"
+        )

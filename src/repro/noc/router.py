@@ -1,0 +1,272 @@
+"""Single-stage wormhole router with virtual channels and credit flow control.
+
+The router follows the paper's design point: a speculative single-stage
+pipeline (route computation, virtual-channel allocation and switch
+allocation resolved in the same cycle a flit is forwarded), three virtual
+channels per physical channel, each one message (4 flits) deep.
+
+Flow control is credit-based.  Each output port tracks, per downstream
+virtual channel, (a) whether the VC is currently allocated to an in-flight
+packet and (b) how many free buffer slots remain.  A head flit must win a
+free downstream VC; body/tail flits inherit it; the tail flit releases it.
+
+The two-phase engine contract: ``evaluate`` performs all arbitration against
+the state committed last cycle, ``advance`` moves the granted flits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.sim.engine import ClockedComponent, Engine
+from repro.sim.stats import StatsRegistry
+from repro.noc.flit import Flit
+from repro.noc.routing import Coord, Port, dimension_order_route
+
+if TYPE_CHECKING:
+    from repro.noc.packet import Packet
+
+
+class InputVC:
+    """One virtual-channel FIFO of an input port, plus its routing state."""
+
+    __slots__ = ("buffer", "depth", "route_port", "out_vc")
+
+    def __init__(self, depth: int):
+        self.buffer: deque[Flit] = deque()
+        self.depth = depth
+        # Allocated output port / downstream VC for the packet currently
+        # occupying this VC; cleared when its tail flit departs.
+        self.route_port: Optional[Port] = None
+        self.out_vc: Optional[int] = None
+
+    @property
+    def head(self) -> Optional[Flit]:
+        return self.buffer[0] if self.buffer else None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.buffer)
+
+
+class InputPort:
+    """Buffered input side of a physical channel.
+
+    ``credit_return`` is wired to the upstream output port so that consuming
+    a flit frees a buffer slot there after the credit round-trip delay.
+    """
+
+    def __init__(self, num_vcs: int, depth: int):
+        self.vcs = [InputVC(depth) for __ in range(num_vcs)]
+        self.depth = depth
+        self.credit_return: Optional[Callable[[int], None]] = None
+
+    def accept(self, flit: Flit, vc: int) -> None:
+        """Deposit a flit into virtual channel ``vc`` (called by the link)."""
+        buffer = self.vcs[vc].buffer
+        if len(buffer) >= self.depth:
+            raise RuntimeError(
+                f"input VC overflow (vc={vc}): credit protocol violated"
+            )
+        buffer.append(flit)
+
+
+class OutputPort:
+    """Credit-tracking output side of a physical channel.
+
+    ``deliver`` is the link transfer function: called with ``(flit, vc)``
+    during ``advance``, it must hand the flit to the downstream input port
+    after the link latency.  ``vc_busy`` is the output-VC allocation table.
+    """
+
+    def __init__(
+        self,
+        port: Port,
+        num_vcs: int,
+        downstream_depth: int,
+        deliver: Callable[[Flit, int], None],
+    ):
+        self.port = port
+        self.num_vcs = num_vcs
+        self.vc_busy = [False] * num_vcs
+        self.credits = [downstream_depth] * num_vcs
+        self.deliver = deliver
+
+    def free_vc(self, preferred: int = 0) -> Optional[int]:
+        """A downstream VC that is unallocated and has buffer space."""
+        for offset in range(self.num_vcs):
+            vc = (preferred + offset) % self.num_vcs
+            if not self.vc_busy[vc] and self.credits[vc] > 0:
+                return vc
+        return None
+
+    def return_credit(self, vc: int) -> None:
+        self.credits[vc] += 1
+
+    def send(self, flit: Flit, vc: int) -> None:
+        """Consume a credit and push the flit onto the link."""
+        if self.credits[vc] <= 0:
+            raise RuntimeError(f"credit underflow on {self.port} vc={vc}")
+        self.credits[vc] -= 1
+        if flit.is_head:
+            self.vc_busy[vc] = True
+        if flit.is_tail:
+            self.vc_busy[vc] = False
+        self.deliver(flit, vc)
+
+
+class Router(ClockedComponent):
+    """A mesh router at one node of the 3D chip.
+
+    Pillar routers are ordinary routers whose port set includes
+    ``Port.VERTICAL``; the hybridization with the dTDMA bus is entirely in
+    what that port's :class:`OutputPort` delivers into (the bus transceiver)
+    and what feeds its :class:`InputPort` (bus receptions).
+    """
+
+    def __init__(
+        self,
+        coord: Coord,
+        num_vcs: int = 3,
+        vc_depth: int = 4,
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.coord = coord
+        self.num_vcs = num_vcs
+        self.vc_depth = vc_depth
+        self.stats = stats or StatsRegistry(f"router{coord}")
+        self.input_ports: dict[Port, InputPort] = {}
+        self.output_ports: dict[Port, OutputPort] = {}
+        # Grants decided in evaluate(), committed in advance():
+        # list of (input_port, vc_index, output_port_obj, out_vc)
+        self._grants: list[tuple[Port, int, OutputPort, int]] = []
+        self._rr_offset = 0
+        self._forwarded = self.stats.counter(f"router{coord}.flits_forwarded")
+        self._blocked = self.stats.counter(f"router{coord}.cycles_blocked")
+
+    # -- wiring ----------------------------------------------------------
+
+    def add_input_port(self, port: Port) -> InputPort:
+        input_port = InputPort(self.num_vcs, self.vc_depth)
+        self.input_ports[port] = input_port
+        return input_port
+
+    def add_output_port(
+        self,
+        port: Port,
+        downstream_depth: int,
+        deliver: Callable[[Flit, int], None],
+    ) -> OutputPort:
+        output_port = OutputPort(port, self.num_vcs, downstream_depth, deliver)
+        self.output_ports[port] = output_port
+        return output_port
+
+    @property
+    def ports(self) -> set[Port]:
+        return set(self.input_ports) | set(self.output_ports)
+
+    def buffered_flits(self) -> int:
+        """Total flits resident in this router's input buffers."""
+        return sum(
+            vc.occupancy
+            for input_port in self.input_ports.values()
+            for vc in input_port.vcs
+        )
+
+    # -- routing ---------------------------------------------------------
+
+    def _route(self, packet: "Packet") -> Port:
+        return dimension_order_route(self.coord, packet.dest, packet.pillar_xy)
+
+    # -- per-cycle operation ----------------------------------------------
+
+    def evaluate(self, cycle: int) -> None:
+        self._grants = []
+        granted_outputs: set[Port] = set()
+        granted_inputs: set[Port] = set()
+        port_list = list(self.input_ports.items())
+        if not port_list:
+            return
+        # Rotate arbitration priority so no input port starves.
+        self._rr_offset = (self._rr_offset + 1) % len(port_list)
+        ordered = port_list[self._rr_offset:] + port_list[: self._rr_offset]
+        any_blocked = False
+        for port_name, input_port in ordered:
+            if port_name in granted_inputs:
+                continue
+            for vc_index, vc in enumerate(input_port.vcs):
+                head = vc.head
+                if head is None:
+                    continue
+                if head.is_head and vc.route_port is None:
+                    vc.route_port = self._route(head.packet)
+                output_port = self.output_ports.get(vc.route_port)
+                if output_port is None:
+                    raise RuntimeError(
+                        f"router {self.coord}: no output port "
+                        f"{vc.route_port} for {head.packet}"
+                    )
+                if output_port.port in granted_outputs:
+                    any_blocked = True
+                    continue
+                if head.is_head and vc.out_vc is None:
+                    out_vc = output_port.free_vc(preferred=vc_index)
+                    if out_vc is None:
+                        any_blocked = True
+                        continue
+                    vc.out_vc = out_vc
+                if output_port.credits[vc.out_vc] <= 0:
+                    any_blocked = True
+                    continue
+                self._grants.append(
+                    (port_name, vc_index, output_port, vc.out_vc)
+                )
+                granted_outputs.add(output_port.port)
+                granted_inputs.add(port_name)
+                break  # one flit per input port per cycle
+        if any_blocked:
+            self._blocked.increment()
+
+    def advance(self, cycle: int) -> None:
+        for port_name, vc_index, output_port, out_vc in self._grants:
+            input_port = self.input_ports[port_name]
+            vc = input_port.vcs[vc_index]
+            flit = vc.buffer.popleft()
+            if flit.is_tail:
+                vc.route_port = None
+                vc.out_vc = None
+            output_port.send(flit, out_vc)
+            if input_port.credit_return is not None:
+                input_port.credit_return(vc_index)
+            self._forwarded.increment()
+        self._grants = []
+
+
+def connect(
+    engine: Engine,
+    upstream: Router,
+    up_port: Port,
+    downstream: Router,
+    down_port: Port,
+    link_latency: int = 1,
+) -> None:
+    """Wire ``upstream``'s ``up_port`` output to ``downstream``'s input.
+
+    Creates the output port on the upstream router and the input port on the
+    downstream one, with a link of ``link_latency`` cycles and a one-cycle
+    credit return path.
+    """
+    input_port = downstream.add_input_port(down_port)
+
+    def deliver(flit: Flit, vc: int) -> None:
+        engine.schedule(link_latency, lambda: input_port.accept(flit, vc))
+
+    output_port = upstream.add_output_port(
+        up_port, downstream_depth=downstream.vc_depth, deliver=deliver
+    )
+
+    def credit_return(vc: int) -> None:
+        engine.schedule(1, lambda: output_port.return_credit(vc))
+
+    input_port.credit_return = credit_return

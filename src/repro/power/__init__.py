@@ -1,0 +1,21 @@
+"""Power and energy accounting for the Network-in-Memory system.
+
+The paper argues its 3D design "helps reduce power consumption in L2 due
+to a reduced number of data movements": fewer migrations mean fewer
+line-sized packets crossing the network, and the bigger step-1 vicinity
+means fewer multicast tag probes.  This package quantifies that claim
+with an Orion-style interconnect energy model (per-flit router/link/bus
+energies anchored to Table 1's synthesized power) and a Cacti-anchored
+L2 array energy model, and turns a run's statistics into an energy
+report.
+"""
+
+from repro.power.energy import EnergyModel, EnergyBreakdown
+from repro.power.report import energy_report, compare_energy
+
+__all__ = [
+    "EnergyModel",
+    "EnergyBreakdown",
+    "energy_report",
+    "compare_energy",
+]

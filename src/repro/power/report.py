@@ -1,0 +1,54 @@
+"""Energy reports: per-run breakdowns and scheme comparisons."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.power.energy import EnergyBreakdown, EnergyModel, account_run
+
+if TYPE_CHECKING:
+    from repro.core.system import NetworkInMemory, RunStats
+
+
+def energy_report(
+    system: "NetworkInMemory",
+    stats: "RunStats",
+    model: Optional[EnergyModel] = None,
+) -> str:
+    """Human-readable energy breakdown for one run."""
+    breakdown = account_run(system, stats, model)
+    total = breakdown.total_j
+
+    def row(label: str, joules: float) -> str:
+        share = joules / total * 100 if total else 0.0
+        return f"  {label:22s} {joules * 1e6:10.2f} uJ  ({share:5.1f}%)"
+
+    lines = [
+        f"Energy breakdown — {stats.scheme.value}:",
+        row("network (flit-hops)", breakdown.network_j),
+        row("vertical buses", breakdown.bus_j),
+        row("tag probes", breakdown.tag_j),
+        row("bank accesses", breakdown.bank_j),
+        row("off-chip DRAM", breakdown.dram_j),
+        f"  {'total':22s} {total * 1e6:10.2f} uJ",
+        f"  {'of which migration':22s} "
+        f"{breakdown.migration_j * 1e6:10.2f} uJ",
+    ]
+    return "\n".join(lines)
+
+
+def compare_energy(
+    runs: dict[str, tuple["NetworkInMemory", "RunStats"]],
+    model: Optional[EnergyModel] = None,
+) -> dict[str, EnergyBreakdown]:
+    """Energy breakdowns, normalized-comparable, for several runs.
+
+    ``runs`` maps labels to (system, stats) pairs; energies are normalized
+    per L2 access so runs of different lengths compare fairly.
+    """
+    breakdowns: dict[str, EnergyBreakdown] = {}
+    for label, (system, stats) in runs.items():
+        raw = account_run(system, stats, model)
+        accesses = max(1, stats.l2_accesses)
+        breakdowns[label] = raw.scaled(1.0 / accesses)
+    return breakdowns

@@ -1,0 +1,23 @@
+"""Simulation kernel: cycle-driven engine, statistics, and seeded RNG helpers.
+
+The kernel is deliberately small.  The network simulator (:mod:`repro.noc`)
+is cycle-driven — every clocked component is evaluated once per cycle in two
+phases so that all components observe a consistent snapshot of the previous
+cycle's state.  A lightweight event queue is layered on top for delayed
+callbacks (e.g. memory responses arriving after a fixed latency).
+"""
+
+from repro.sim.engine import ClockedComponent, Engine, Event
+from repro.sim.stats import Counter, Histogram, MovingAverage, StatsRegistry
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "ClockedComponent",
+    "Engine",
+    "Event",
+    "Counter",
+    "Histogram",
+    "MovingAverage",
+    "StatsRegistry",
+    "make_rng",
+]

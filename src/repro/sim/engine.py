@@ -1,0 +1,154 @@
+"""Cycle-driven simulation engine with a two-phase update discipline.
+
+Hardware structures (routers, buses, cache controllers) are modelled as
+:class:`ClockedComponent` objects registered with an :class:`Engine`.  Each
+simulated cycle the engine:
+
+1. fires any events scheduled for the current cycle,
+2. calls ``evaluate()`` on every component (combinational phase — components
+   read the state published by the previous cycle and decide what they will
+   do), and
+3. calls ``advance()`` on every component (sequential phase — components
+   commit the decisions, moving flits between buffers).
+
+The two-phase split means evaluation order between components never changes
+behaviour, which keeps the simulator deterministic regardless of the order
+components were registered in.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class ClockedComponent:
+    """Base class for anything that does work every cycle.
+
+    Subclasses override :meth:`evaluate` and/or :meth:`advance`.  The split
+    exists so that every component sees the same pre-cycle state during
+    ``evaluate`` and commits state changes during ``advance``.
+    """
+
+    def evaluate(self, cycle: int) -> None:
+        """Combinational phase: read previous-cycle state, make decisions."""
+
+    def advance(self, cycle: int) -> None:
+        """Sequential phase: commit the decisions made in :meth:`evaluate`."""
+
+
+class Event:
+    """A callback scheduled to run at a specific cycle.
+
+    Events may be cancelled before they fire; a cancelled event is skipped
+    silently when its cycle arrives.
+    """
+
+    __slots__ = ("cycle", "callback", "cancelled")
+
+    def __init__(self, cycle: int, callback: Callable[[], Any]):
+        self.cycle = cycle
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing."""
+        self.cancelled = True
+
+
+class Engine:
+    """Discrete-time simulation engine.
+
+    Parameters
+    ----------
+    name:
+        Label used in error messages and statistics dumps.
+    """
+
+    def __init__(self, name: str = "engine"):
+        self.name = name
+        self.cycle = 0
+        self._components: list[ClockedComponent] = []
+        self._event_heap: list[tuple[int, int, Event]] = []
+        self._sequence = itertools.count()
+        self._stop_requested = False
+
+    def register(self, component: ClockedComponent) -> ClockedComponent:
+        """Add a clocked component to the per-cycle update list."""
+        if not isinstance(component, ClockedComponent):
+            raise TypeError(f"{component!r} is not a ClockedComponent")
+        self._components.append(component)
+        return component
+
+    def unregister(self, component: ClockedComponent) -> None:
+        """Remove a previously registered component."""
+        self._components.remove(component)
+
+    def schedule(self, delay: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now.
+
+        ``delay`` must be non-negative; a delay of zero fires at the start of
+        the *next* call to :meth:`step` for the current cycle's events, i.e.
+        before any component evaluates.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        event = Event(self.cycle + delay, callback)
+        heapq.heappush(self._event_heap, (event.cycle, next(self._sequence), event))
+        return event
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current cycle."""
+        self._stop_requested = True
+
+    def peek_next_event_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending (non-cancelled) event, or ``None``."""
+        while self._event_heap:
+            cycle, __, event = self._event_heap[0]
+            if event.cancelled:
+                heapq.heappop(self._event_heap)
+                continue
+            return cycle
+        return None
+
+    def step(self) -> None:
+        """Advance the simulation by exactly one cycle."""
+        while self._event_heap and self._event_heap[0][0] <= self.cycle:
+            __, __, event = heapq.heappop(self._event_heap)
+            if not event.cancelled:
+                event.callback()
+        for component in self._components:
+            component.evaluate(self.cycle)
+        for component in self._components:
+            component.advance(self.cycle)
+        self.cycle += 1
+
+    def run(self, cycles: int) -> int:
+        """Run for at most ``cycles`` cycles; returns cycles actually run."""
+        self._stop_requested = False
+        executed = 0
+        for __ in range(cycles):
+            if self._stop_requested:
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def run_until(self, predicate: Callable[[], bool], max_cycles: int = 10_000_000) -> int:
+        """Run until ``predicate()`` is true or ``max_cycles`` elapse.
+
+        Returns the number of cycles executed.  Raises ``RuntimeError`` if the
+        predicate never became true, which almost always indicates deadlock
+        in the modelled hardware.
+        """
+        executed = 0
+        while not predicate():
+            if executed >= max_cycles:
+                raise RuntimeError(
+                    f"{self.name}: run_until exceeded {max_cycles} cycles "
+                    "(likely deadlock)"
+                )
+            self.step()
+            executed += 1
+        return executed

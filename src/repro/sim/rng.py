@@ -1,0 +1,24 @@
+"""Deterministic random-number-generator construction.
+
+Every stochastic component derives its generator from a (seed, stream-name)
+pair so that experiments are reproducible and adding a new consumer of
+randomness never perturbs the streams seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def make_rng(seed: int, stream: str = "") -> np.random.Generator:
+    """Create an independent, reproducible generator for a named stream.
+
+    The stream name is hashed into the seed material, so distinct streams
+    sharing a base seed are statistically independent while remaining fully
+    deterministic.
+    """
+    digest = hashlib.sha256(f"{seed}:{stream}".encode()).digest()
+    material = int.from_bytes(digest[:8], "little")
+    return np.random.default_rng(material)

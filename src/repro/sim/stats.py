@@ -1,0 +1,184 @@
+"""Statistics primitives shared by every subsystem.
+
+All simulator statistics flow through these classes so that experiment
+harnesses can dump a uniform report: counters for event counts, histograms
+for latency distributions, and exponential moving averages for load
+estimation inside the contention-aware latency model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+
+class Counter:
+    """A named monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming histogram with exact mean/min/max and bucketed counts.
+
+    Buckets are fixed-width; samples beyond the last bucket edge land in an
+    overflow bucket.  Mean and extrema are exact regardless of bucketing.
+    """
+
+    def __init__(self, name: str, bucket_width: float = 1.0, num_buckets: int = 256):
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        self.name = name
+        self.bucket_width = bucket_width
+        self.buckets = [0] * num_buckets
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        index = int(value / self.bucket_width)
+        if 0 <= index < len(self.buckets):
+            self.buckets[index] += 1
+        else:
+            self.overflow += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        return max(0.0, self.total_sq / self.count - mean * mean)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile from bucket boundaries (0 < fraction <= 1)."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        running = 0
+        for index, bucket_count in enumerate(self.buckets):
+            running += bucket_count
+            if running >= target:
+                return (index + 1) * self.bucket_width
+        return self.max_value
+
+    def reset(self) -> None:
+        self.buckets = [0] * len(self.buckets)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.2f})"
+
+
+class MovingAverage:
+    """Exponential moving average used for online load estimation."""
+
+    __slots__ = ("alpha", "value", "initialized")
+
+    def __init__(self, alpha: float = 0.05):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.value = 0.0
+        self.initialized = False
+
+    def update(self, sample: float) -> float:
+        if not self.initialized:
+            self.value = sample
+            self.initialized = True
+        else:
+            self.value += self.alpha * (sample - self.value)
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.initialized = False
+
+
+class StatsRegistry:
+    """A flat namespace of counters and histograms for one subsystem.
+
+    Components ask the registry for named statistics; asking twice for the
+    same name returns the same object, so producers and reporters do not
+    need to share references explicitly.
+    """
+
+    def __init__(self, name: str = "stats"):
+        self.name = name
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str, bucket_width: float = 1.0, num_buckets: int = 256) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, bucket_width, num_buckets)
+        return self._histograms[name]
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def histograms(self) -> Iterator[Histogram]:
+        return iter(self._histograms.values())
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dict of every statistic, for report generation."""
+        result: dict[str, float] = {}
+        for counter in self._counters.values():
+            result[counter.name] = counter.value
+        for histogram in self._histograms.values():
+            result[f"{histogram.name}.mean"] = histogram.mean
+            result[f"{histogram.name}.count"] = histogram.count
+        return result

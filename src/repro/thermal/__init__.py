@@ -1,0 +1,30 @@
+"""HS3d-equivalent steady-state 3D thermal model.
+
+The paper validates its CPU-placement methodology with HS3d [Link &
+Vijaykrishnan], a steady-state thermal estimator producing peak, average
+and minimum die temperatures plus a full thermal profile.  This package
+implements the same abstraction: the chip is discretized into one thermal
+cell per mesh node per layer; cells exchange heat laterally within a layer
+and vertically between layers through a resistive network, and the bottom
+layer conducts into the heat sink.  The resulting sparse linear system is
+solved exactly with scipy.
+
+Power inputs follow the paper: 8 W per CPU core (Niagara-derived), Cacti
+bank power for the L2 (clock-gated when idle), and Table 1's synthesized
+router power.
+"""
+
+from repro.thermal.power import PowerModel, ThermalParams
+from repro.thermal.floorplan import Floorplan, build_floorplan
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.hotspot import ThermalProfile, simulate_thermal
+
+__all__ = [
+    "PowerModel",
+    "ThermalParams",
+    "Floorplan",
+    "build_floorplan",
+    "ThermalGrid",
+    "ThermalProfile",
+    "simulate_thermal",
+]

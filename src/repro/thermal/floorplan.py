@@ -1,0 +1,66 @@
+"""Floorplan: per-cell power map of a placed chip.
+
+One thermal cell per mesh node per layer.  The cell's power is the sum of
+everything the node hosts: its router, its bank (with clock-gating), a CPU
+core if one is placed there, and the dTDMA transceiver/arbiter share for
+pillar nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.chip import ChipTopology
+from repro.thermal.power import PowerModel
+
+
+@dataclass
+class Floorplan:
+    """Power map of the chip: ``power[layer, y, x]`` in watts."""
+
+    width: int
+    height: int
+    layers: int
+    power: np.ndarray          # shape (layers, height, width)
+    cpu_cells: list[tuple[int, int, int]]   # (layer, y, x) of each CPU
+
+    @property
+    def total_power(self) -> float:
+        return float(self.power.sum())
+
+
+def build_floorplan(
+    topology: ChipTopology, power_model: Optional[PowerModel] = None
+) -> Floorplan:
+    """Compute the per-cell power map for a placed chip."""
+    model = power_model or PowerModel()
+    config = topology.config
+    width, height = config.mesh_dims
+    layers = config.num_layers
+    power = np.zeros((layers, height, width))
+    cpu_nodes = set(topology.cpu_positions.values())
+    pillar_set = set(topology.pillar_xys)
+
+    for z in range(layers):
+        for y in range(height):
+            for x in range(width):
+                is_cpu = any(
+                    c.x == x and c.y == y and c.z == z for c in cpu_nodes
+                )
+                has_pillar = (x, y) in pillar_set and layers > 1
+                power[z, y, x] = model.node_power(is_cpu, has_pillar, layers)
+
+    cpu_cells = [
+        (coord.z, coord.y, coord.x)
+        for coord in topology.cpu_positions.values()
+    ]
+    return Floorplan(
+        width=width,
+        height=height,
+        layers=layers,
+        power=power,
+        cpu_cells=cpu_cells,
+    )

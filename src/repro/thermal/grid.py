@@ -1,0 +1,102 @@
+"""Steady-state 3D resistive-grid thermal solver.
+
+The chip is a 3D grid of thermal cells.  Heat flows between lateral
+neighbours within a layer (through silicon), between vertically adjacent
+cells (through the thinned wafer and bond interface), and from the bottom
+layer into the heat sink, which is held at ambient.  Conservation of
+energy at each cell gives a sparse linear system
+
+    sum_j G_ij (T_i - T_j) + G_sink,i (T_i - T_amb) = P_i
+
+solved exactly with scipy's sparse LU.  This is the same steady-state
+abstraction HS3d/HotSpot use, minus their multi-resolution package model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import lil_matrix, csr_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.thermal.power import ThermalParams
+from repro.thermal.floorplan import Floorplan
+
+
+class ThermalGrid:
+    """Solver for one floorplan under given thermal parameters."""
+
+    def __init__(self, floorplan: Floorplan, params: ThermalParams):
+        self.floorplan = floorplan
+        self.params = params
+        self._temperatures: np.ndarray | None = None
+
+    def _index(self, z: int, y: int, x: int) -> int:
+        fp = self.floorplan
+        return (z * fp.height + y) * fp.width + x
+
+    def solve(self) -> np.ndarray:
+        """Solve for the temperature field; returns (layers, height, width)."""
+        fp = self.floorplan
+        params = self.params
+        n = fp.layers * fp.height * fp.width
+        conductance = lil_matrix((n, n))
+        rhs = np.zeros(n)
+
+        for z in range(fp.layers):
+            for y in range(fp.height):
+                for x in range(fp.width):
+                    i = self._index(z, y, x)
+                    rhs[i] += fp.power[z, y, x]
+                    # Lateral coupling (east and north; symmetric fill).
+                    for dx, dy in ((1, 0), (0, 1)):
+                        nx, ny = x + dx, y + dy
+                        if nx < fp.width and ny < fp.height:
+                            j = self._index(z, ny, nx)
+                            g = params.lateral(z)
+                            conductance[i, i] += g
+                            conductance[j, j] += g
+                            conductance[i, j] -= g
+                            conductance[j, i] -= g
+                    # Vertical coupling to the layer above.
+                    if z + 1 < fp.layers:
+                        j = self._index(z + 1, y, x)
+                        g = params.g_vertical
+                        conductance[i, i] += g
+                        conductance[j, j] += g
+                        conductance[i, j] -= g
+                        conductance[j, i] -= g
+                    # Heat sink under layer 0.
+                    if z == 0:
+                        conductance[i, i] += params.g_sink
+                        rhs[i] += params.g_sink * params.ambient_c
+
+        temperatures = spsolve(csr_matrix(conductance), rhs)
+        field = temperatures.reshape((fp.layers, fp.height, fp.width))
+        self._temperatures = field
+        return field
+
+    @property
+    def temperatures(self) -> np.ndarray:
+        if self._temperatures is None:
+            return self.solve()
+        return self._temperatures
+
+    # -- summary metrics (HS3d's outputs) -------------------------------------
+
+    @property
+    def peak(self) -> float:
+        return float(self.temperatures.max())
+
+    @property
+    def average(self) -> float:
+        return float(self.temperatures.mean())
+
+    @property
+    def minimum(self) -> float:
+        return float(self.temperatures.min())
+
+    def hotspots(self, threshold_c: float) -> list[tuple[int, int, int]]:
+        """Cells exceeding ``threshold_c``, as (layer, y, x)."""
+        field = self.temperatures
+        cells = np.argwhere(field > threshold_c)
+        return [tuple(int(v) for v in cell) for cell in cells]

@@ -1,0 +1,66 @@
+"""Thermal profiles for chip configurations (Table 3's rows).
+
+`simulate_thermal` is the one-call front door: give it a placed chip
+topology (or the placement ingredients) and it returns the HS3d-style
+peak / average / minimum temperatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.chip import ChipConfig, ChipTopology
+from repro.core.placement import PlacementPolicy, build_topology
+from repro.thermal.power import PowerModel, ThermalParams
+from repro.thermal.floorplan import build_floorplan
+from repro.thermal.grid import ThermalGrid
+
+
+@dataclass
+class ThermalProfile:
+    """HS3d-style summary of one configuration."""
+
+    label: str
+    peak_c: float
+    avg_c: float
+    min_c: float
+
+    def row(self) -> tuple[str, float, float, float]:
+        return (self.label, self.peak_c, self.avg_c, self.min_c)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: peak={self.peak_c:.2f}C "
+            f"avg={self.avg_c:.2f}C min={self.min_c:.2f}C"
+        )
+
+
+def simulate_thermal(
+    topology: Optional[ChipTopology] = None,
+    *,
+    config: Optional[ChipConfig] = None,
+    placement: Optional[PlacementPolicy] = None,
+    k: int = 1,
+    label: str = "",
+    power_model: Optional[PowerModel] = None,
+    params: Optional[ThermalParams] = None,
+) -> ThermalProfile:
+    """Solve the steady-state thermal profile of a placed chip.
+
+    Either pass a finished ``topology`` or a ``config`` (+ optional
+    ``placement`` and Algorithm-1 offset ``k``) to place one here.
+    """
+    if topology is None:
+        if config is None:
+            raise ValueError("need a topology or a chip config")
+        topology = build_topology(config, placement, k=k)
+    floorplan = build_floorplan(topology, power_model)
+    grid = ThermalGrid(floorplan, params or ThermalParams())
+    grid.solve()
+    return ThermalProfile(
+        label=label or f"{topology.config.num_layers}-layer",
+        peak_c=grid.peak,
+        avg_c=grid.average,
+        min_c=grid.minimum,
+    )

@@ -1,0 +1,26 @@
+"""Synthetic SPEC OMP workload generators.
+
+The paper drives its simulator with nine SPEC OMP benchmarks under Simics
+full-system simulation (Table 5).  Without Simics/Solaris/SPEC, we generate
+synthetic per-CPU memory-reference traces whose *cache-relevant* behaviour
+is calibrated to the paper's characterization: per-benchmark L2 transaction
+volume (Table 5), the high L1 miss rates of mgrid/swim/wupwise vs the low
+rates of art/galgel, OpenMP-style partitioned sharing of large arrays, and
+streaming access with per-benchmark spatial locality.
+"""
+
+from repro.workloads.benchmarks import (
+    BenchmarkProfile,
+    BENCHMARKS,
+    BENCHMARK_NAMES,
+    get_benchmark,
+)
+from repro.workloads.generator import SyntheticWorkload
+
+__all__ = [
+    "BenchmarkProfile",
+    "BENCHMARKS",
+    "BENCHMARK_NAMES",
+    "get_benchmark",
+    "SyntheticWorkload",
+]

@@ -1,0 +1,129 @@
+"""End-to-end scheme comparisons: the paper's headline orderings.
+
+These run small-but-real simulations (full search/migration/coherence on
+the default chip) and assert the qualitative results of Section 5.2.
+"""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.core.system import NetworkInMemory, SystemConfig
+from repro.workloads.generator import SyntheticWorkload
+
+REFS = 25_000
+WARMUP = 8 * REFS * 6 // 10
+
+
+@pytest.fixture(scope="module")
+def swim_results():
+    results = {}
+    for scheme in Scheme:
+        system = NetworkInMemory(SystemConfig(scheme=scheme))
+        workload = SyntheticWorkload("swim", refs_per_cpu=REFS)
+        results[scheme] = system.run_trace(
+            workload.traces(), warmup_events=WARMUP
+        )
+    return results
+
+
+def test_full_3d_scheme_has_lowest_hit_latency(swim_results):
+    best = min(
+        swim_results, key=lambda s: swim_results[s].avg_l2_hit_latency
+    )
+    assert best in (Scheme.CMP_DNUCA_3D, Scheme.CMP_DNUCA)
+    assert (
+        swim_results[Scheme.CMP_DNUCA_3D].avg_l2_hit_latency
+        < swim_results[Scheme.CMP_DNUCA_2D].avg_l2_hit_latency
+    )
+
+
+def test_static_3d_beats_migrating_2d(swim_results):
+    """The paper's headline: 3D without migration beats 2D with it."""
+    assert (
+        swim_results[Scheme.CMP_SNUCA_3D].avg_l2_hit_latency
+        < swim_results[Scheme.CMP_DNUCA_2D].avg_l2_hit_latency
+    )
+
+
+def test_migration_helps_within_3d(swim_results):
+    assert (
+        swim_results[Scheme.CMP_DNUCA_3D].avg_l2_hit_latency
+        < swim_results[Scheme.CMP_SNUCA_3D].avg_l2_hit_latency
+    )
+
+
+def test_3d_improves_ipc(swim_results):
+    base = swim_results[Scheme.CMP_DNUCA_2D].ipc
+    assert swim_results[Scheme.CMP_DNUCA_3D].ipc > base
+    assert swim_results[Scheme.CMP_SNUCA_3D].ipc > base
+
+
+def test_static_scheme_never_migrates(swim_results):
+    assert swim_results[Scheme.CMP_SNUCA_3D].migrations == 0
+
+
+def test_3d_migrates_less_than_2d(swim_results):
+    assert (
+        swim_results[Scheme.CMP_DNUCA_3D].migrations
+        < swim_results[Scheme.CMP_DNUCA_2D].migrations
+    )
+
+
+def test_3d_uses_the_vertical_buses(swim_results):
+    assert swim_results[Scheme.CMP_DNUCA_3D].bus_flits > 0
+    assert swim_results[Scheme.CMP_DNUCA_2D].bus_flits == 0
+
+
+def test_hit_rates_scheme_independent(swim_results):
+    """Schemes change placement/latency, not what fits in the cache."""
+    rates = [stats.l2_hit_rate for stats in swim_results.values()]
+    assert max(rates) - min(rates) < 0.02
+
+
+def test_fewer_pillars_cost_latency():
+    results = {}
+    for pillars in (8, 2):
+        system = NetworkInMemory(
+            SystemConfig(scheme=Scheme.CMP_DNUCA_3D, num_pillars=pillars)
+        )
+        workload = SyntheticWorkload("swim", refs_per_cpu=REFS)
+        results[pillars] = system.run_trace(
+            workload.traces(), warmup_events=WARMUP
+        )
+    assert (
+        results[2].avg_l2_hit_latency > results[8].avg_l2_hit_latency
+    )
+
+
+def test_more_layers_save_latency():
+    results = {}
+    for layers in (2, 4):
+        system = NetworkInMemory(
+            SystemConfig(scheme=Scheme.CMP_SNUCA_3D, num_layers=layers)
+        )
+        workload = SyntheticWorkload("swim", refs_per_cpu=REFS)
+        results[layers] = system.run_trace(
+            workload.traces(), warmup_events=WARMUP
+        )
+    assert (
+        results[4].avg_l2_hit_latency < results[2].avg_l2_hit_latency
+    )
+
+
+def test_larger_cache_raises_latency_slower_in_3d():
+    growth = {}
+    for scheme in (Scheme.CMP_DNUCA_2D, Scheme.CMP_DNUCA_3D):
+        latencies = []
+        for cache_mb in (16, 64):
+            system = NetworkInMemory(
+                SystemConfig(scheme=scheme, cache_mb=cache_mb)
+            )
+            workload = SyntheticWorkload("swim", refs_per_cpu=REFS)
+            stats = system.run_trace(
+                workload.traces(), warmup_events=WARMUP
+            )
+            latencies.append(stats.avg_l2_hit_latency)
+        growth[scheme] = latencies[1] - latencies[0]
+    assert growth[Scheme.CMP_DNUCA_2D] > 0
+    assert growth[Scheme.CMP_DNUCA_3D] > 0
+    assert growth[Scheme.CMP_DNUCA_3D] < growth[Scheme.CMP_DNUCA_2D]

@@ -1,0 +1,120 @@
+"""Property-based tests: placement, thermal conservation, arbiter, stats."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chip import ChipConfig
+from repro.core.placement import PlacementPolicy, build_topology
+from repro.dtdma.arbiter import DynamicTDMAArbiter
+from repro.sim.stats import Histogram
+from repro.sim.rng import make_rng
+from repro.thermal.floorplan import build_floorplan
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.power import ThermalParams
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    layers=st.sampled_from([2, 4]),
+    pillars=st.sampled_from([2, 4, 8]),
+    policy=st.sampled_from(
+        [PlacementPolicy.MAXIMAL_OFFSET, PlacementPolicy.ALGORITHM1,
+         PlacementPolicy.STACKED]
+    ),
+    k=st.integers(1, 2),
+)
+def test_placement_always_legal(layers, pillars, policy, k):
+    """Any supported (layers, pillars, policy) combination yields a legal
+    placement: CPUs on-chip, no collisions, pillars intact."""
+    config = ChipConfig(num_layers=layers, num_pillars=pillars)
+    if policy == PlacementPolicy.MAXIMAL_OFFSET and pillars < config.num_cpus:
+        return  # this policy requires one pillar per CPU
+    if policy == PlacementPolicy.ALGORITHM1 and config.num_cpus % pillars:
+        return
+    if policy == PlacementPolicy.STACKED and pillars * layers < config.num_cpus:
+        return  # not enough pillar columns to stack every CPU
+    topology = build_topology(config, policy, k=k)
+    width, height = config.mesh_dims
+    seen = set()
+    for coord in topology.cpu_positions.values():
+        assert 0 <= coord.x < width and 0 <= coord.y < height
+        assert 0 <= coord.z < layers
+        assert coord not in seen
+        seen.add(coord)
+    assert len(topology.cpu_positions) == config.num_cpus
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    layers=st.sampled_from([1, 2, 4]),
+    policy_seed=st.integers(0, 3),
+)
+def test_thermal_energy_conservation(layers, policy_seed):
+    """All dissipated power exits through the heat sink, whatever the
+    configuration."""
+    if layers == 1:
+        config = ChipConfig(num_layers=1, num_pillars=0)
+        policy = PlacementPolicy.CENTER_2D
+    else:
+        config = ChipConfig(num_layers=layers, num_pillars=8)
+        policy = (
+            PlacementPolicy.MAXIMAL_OFFSET
+            if policy_seed % 2 == 0
+            else PlacementPolicy.STACKED
+        )
+    topology = build_topology(config, policy)
+    params = ThermalParams()
+    floorplan = build_floorplan(topology)
+    grid = ThermalGrid(floorplan, params)
+    field = grid.solve()
+    sink_heat = params.g_sink * (field[0] - params.ambient_c).sum()
+    assert np.isclose(sink_heat, floorplan.total_power, rtol=1e-6)
+    assert (field >= params.ambient_c - 1e-9).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    active_sets=st.lists(
+        st.sets(st.integers(0, 7), max_size=8), min_size=1, max_size=60
+    )
+)
+def test_arbiter_fair_and_work_conserving(active_sets):
+    """The dTDMA arbiter always grants an active client, and over any
+    window no active-throughout client is starved by more than the frame
+    structure allows."""
+    arbiter = DynamicTDMAArbiter(list(range(8)))
+    grants = []
+    for active in active_sets:
+        grant = arbiter.grant(active)
+        if active:
+            assert grant in active
+        else:
+            assert grant is None
+        grants.append(grant)
+    always_active = set.intersection(*map(set, active_sets)) if active_sets else set()
+    if always_active and len(active_sets) >= 16:
+        for client in always_active:
+            assert grants.count(client) >= len(active_sets) // 16
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(st.floats(0, 1e6), min_size=1, max_size=200))
+def test_histogram_mean_exact(values):
+    hist = Histogram("h")
+    hist.extend(values)
+    assert hist.count == len(values)
+    assert hist.mean == np.mean(values) or np.isclose(
+        hist.mean, np.mean(values)
+    )
+    assert hist.min_value == min(values)
+    assert hist.max_value == max(values)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_rng_streams_deterministic_and_distinct(seed):
+    a1 = make_rng(seed, "alpha").integers(0, 1 << 30, 8)
+    a2 = make_rng(seed, "alpha").integers(0, 1 << 30, 8)
+    b = make_rng(seed, "beta").integers(0, 1 << 30, 8)
+    assert (a1 == a2).all()
+    assert not (a1 == b).all()

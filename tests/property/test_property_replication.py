@@ -1,0 +1,74 @@
+"""Property-based invariants for the replication extension."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chip import ChipConfig
+from repro.core.placement import build_topology
+from repro.cache.nuca import AccessType
+from repro.cache.replication import ReplicatingNucaL2
+
+addresses = st.integers(0, 1 << 20).map(lambda a: a * 64)
+accesses = st.lists(
+    st.tuples(
+        st.integers(0, 7),
+        addresses,
+        st.sampled_from([AccessType.READ, AccessType.WRITE]),
+    ),
+    min_size=1,
+    max_size=250,
+)
+
+
+def fresh():
+    return ReplicatingNucaL2(build_topology(ChipConfig()))
+
+
+@settings(max_examples=15, deadline=None)
+@given(sequence=accesses)
+def test_replica_map_consistent_with_stores(sequence):
+    """Every mapped replica is resident in its cluster; primaries stay in
+    the location map; replicas never appear in it."""
+    nuca = fresh()
+    for step, (cpu, address, op) in enumerate(sequence):
+        nuca.access(cpu, address, op, cycle=float(step * 9))
+    for line, clusters in nuca._replicas.items():
+        decoded = nuca.addr_map.decode(line << nuca.addr_map.offset_bits)
+        for cluster_index in clusters:
+            found = nuca.clusters[cluster_index].lookup(
+                decoded.index, decoded.tag
+            )
+            assert found is not None
+            assert found[1].is_replica
+    # Primary invariant unchanged by replication.
+    for line, cluster_index in nuca._location.items():
+        decoded = nuca.addr_map.decode(line << nuca.addr_map.offset_bits)
+        found = nuca.clusters[cluster_index].lookup(
+            decoded.index, decoded.tag
+        )
+        assert found is not None
+        assert not found[1].is_replica
+
+
+@settings(max_examples=15, deadline=None)
+@given(sequence=accesses)
+def test_write_leaves_no_replicas_of_written_line(sequence):
+    nuca = fresh()
+    cycle = 0.0
+    for cpu, address, op in sequence:
+        nuca.access(cpu, address, op, cycle=cycle)
+        if op == AccessType.WRITE:
+            assert nuca.replicas_of(address) == frozenset()
+        cycle += 9.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(sequence=accesses)
+def test_reads_always_hit_after_first_touch(sequence):
+    """Replication must never introduce false misses."""
+    nuca = fresh()
+    cycle = 0.0
+    for cpu, address, op in sequence:
+        nuca.access(cpu, address, op, cycle=cycle)
+        outcome = nuca.access(cpu, address, AccessType.READ, cycle + 1.0)
+        assert outcome.hit
+        cycle += 9.0

@@ -1,0 +1,64 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.benchmark == "swim"
+        assert args.refs == 30_000
+
+    def test_scheme_parsing_case_insensitive(self):
+        args = build_parser().parse_args(
+            ["run", "--scheme", "cmp-snuca-3d"]
+        )
+        from repro.core.schemes import Scheme
+
+        assert args.scheme == Scheme.CMP_SNUCA_3D
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "bogus"])
+
+    def test_experiments_choices(self):
+        args = build_parser().parse_args(["experiments", "table1"])
+        assert args.name == "table1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_describe(self, capsys):
+        assert main(["describe", "--layers", "2", "--pillars", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Chip: 2 layer(s)" in out
+        assert "CPU 7" in out
+
+    def test_thermal(self, capsys):
+        assert main(["thermal", "--layers", "2", "--placement", "stacked"]) == 0
+        out = capsys.readouterr().out
+        assert "peak=" in out
+
+    def test_thermal_2d(self, capsys):
+        assert main(["thermal", "--layers", "1"]) == 0
+        assert "peak=" in capsys.readouterr().out
+
+    def test_run_small(self, capsys):
+        assert main(
+            ["run", "--benchmark", "art", "--refs", "1500", "--energy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "IPC (aggregate)" in out
+        assert "Energy breakdown" in out
+
+    def test_experiments_table2(self, capsys):
+        assert main(["experiments", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out

@@ -1,0 +1,166 @@
+"""Unit tests for the CPU model and the synthetic workload generators."""
+
+import pytest
+
+from repro.cpu.core import InOrderCore
+from repro.cpu.trace import (
+    OP_IFETCH,
+    OP_READ,
+    OP_WRITE,
+    op_name,
+    validate_trace,
+)
+from repro.workloads.benchmarks import BENCHMARKS, BENCHMARK_NAMES, get_benchmark
+from repro.workloads.generator import SyntheticWorkload
+
+
+class TestInOrderCore:
+    def test_gap_retirement(self):
+        core = InOrderCore(0)
+        core.retire_gap(10)
+        assert core.clock == 10 and core.instructions == 10
+
+    def test_read_stalls(self):
+        core = InOrderCore(0)
+        core.retire_reference(OP_READ, stall_cycles=50)
+        assert core.clock == 51
+        assert core.memory_stall_cycles == 50
+
+    def test_write_never_stalls(self):
+        core = InOrderCore(0)
+        core.retire_reference(OP_WRITE, stall_cycles=50)
+        assert core.clock == 1
+        assert core.memory_stall_cycles == 0
+
+    def test_ipc(self):
+        core = InOrderCore(0)
+        core.retire_gap(9)
+        core.retire_reference(OP_READ, stall_cycles=10)
+        assert core.ipc == pytest.approx(10 / 20)
+
+    def test_reset_stats_keeps_clock(self):
+        core = InOrderCore(0)
+        core.retire_gap(100)
+        core.reset_stats()
+        assert core.clock == 100
+        assert core.instructions == 0
+        core.retire_gap(50)
+        assert core.ipc == pytest.approx(1.0)
+
+    def test_cpi_base_scaling(self):
+        core = InOrderCore(0, cpi_base=2.0)
+        core.retire_gap(5)
+        assert core.clock == 10
+
+
+class TestTraceValidation:
+    def test_op_names(self):
+        assert op_name(OP_READ) == "read"
+        assert op_name(OP_WRITE) == "write"
+        assert op_name(OP_IFETCH) == "ifetch"
+        with pytest.raises(ValueError):
+            op_name(9)
+
+    def test_validate_trace_passes_good_events(self):
+        events = [(0, OP_READ, 0x100), (3, OP_WRITE, 0x200)]
+        assert list(validate_trace(events)) == events
+
+    def test_validate_trace_rejects_bad(self):
+        with pytest.raises(ValueError):
+            list(validate_trace([(-1, OP_READ, 0)]))
+        with pytest.raises(ValueError):
+            list(validate_trace([(0, 7, 0)]))
+        with pytest.raises(ValueError):
+            list(validate_trace([(0, OP_READ, -4)]))
+
+
+class TestBenchmarkProfiles:
+    def test_all_nine_present(self):
+        assert len(BENCHMARK_NAMES) == 9
+        assert set(BENCHMARK_NAMES) == {
+            "ammp", "apsi", "art", "equake", "fma3d",
+            "galgel", "mgrid", "swim", "wupwise",
+        }
+
+    def test_table5_transaction_counts(self):
+        # Spot-check the recorded Table 5 values.
+        assert BENCHMARKS["mgrid"].l2_transactions_paper == 204_815_737
+        assert BENCHMARKS["fma3d"].l2_transactions_paper == 12_599_496
+
+    def test_intense_benchmarks_have_higher_miss_estimates(self):
+        heavy = min(
+            BENCHMARKS[name].expected_l1_miss_rate
+            for name in ("mgrid", "swim", "wupwise")
+        )
+        light = max(
+            BENCHMARKS[name].expected_l1_miss_rate
+            for name in ("art", "fma3d")
+        )
+        assert heavy > light
+
+    def test_get_benchmark_unknown(self):
+        with pytest.raises(ValueError):
+            get_benchmark("doom")
+
+
+class TestSyntheticWorkload:
+    def test_trace_length(self):
+        workload = SyntheticWorkload("art", refs_per_cpu=1000)
+        trace = workload.cpu_trace(0)
+        assert len(trace) == 1000
+
+    def test_events_are_valid(self):
+        workload = SyntheticWorkload("swim", refs_per_cpu=500)
+        list(validate_trace(workload.cpu_trace(3)))
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticWorkload("mgrid", refs_per_cpu=200, seed=5).cpu_trace(0)
+        b = SyntheticWorkload("mgrid", refs_per_cpu=200, seed=5).cpu_trace(0)
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        a = SyntheticWorkload("mgrid", refs_per_cpu=200, seed=5).cpu_trace(0)
+        b = SyntheticWorkload("mgrid", refs_per_cpu=200, seed=6).cpu_trace(0)
+        assert a != b
+
+    def test_cpus_have_distinct_traces(self):
+        workload = SyntheticWorkload("apsi", refs_per_cpu=200)
+        assert workload.cpu_trace(0) != workload.cpu_trace(1)
+
+    def test_traces_returns_all_cpus(self):
+        workload = SyntheticWorkload("ammp", num_cpus=4, refs_per_cpu=50)
+        assert len(workload.traces()) == 4
+
+    def test_write_fraction_respected(self):
+        workload = SyntheticWorkload("swim", refs_per_cpu=20_000)
+        trace = workload.cpu_trace(0)
+        writes = sum(1 for __, op, __ in trace if op == OP_WRITE)
+        fraction = writes / len(trace)
+        # Stream+hot write at profile rate; residual barely writes.
+        assert 0.1 < fraction < 0.4
+
+    def test_ifetch_fraction_respected(self):
+        workload = SyntheticWorkload("ammp", refs_per_cpu=20_000)
+        trace = workload.cpu_trace(0)
+        fraction = (
+            sum(1 for __, op, __ in trace if op == OP_IFETCH) / len(trace)
+        )
+        assert fraction == pytest.approx(0.05, abs=0.01)
+
+    def test_cpu_id_bounds(self):
+        workload = SyntheticWorkload("art", num_cpus=2, refs_per_cpu=10)
+        with pytest.raises(ValueError):
+            workload.cpu_trace(2)
+
+    def test_addresses_cover_shared_region(self):
+        workload = SyntheticWorkload("galgel", refs_per_cpu=5_000)
+        addresses = {addr for __, op, addr in workload.cpu_trace(0)
+                     if op != OP_IFETCH}
+        shared = [a for a in addresses if 0x1000_0000 <= a < 0x8000_0000]
+        assert len(shared) > 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload("art", num_cpus=0)
+        with pytest.raises(ValueError):
+            SyntheticWorkload("art", refs_per_cpu=0)

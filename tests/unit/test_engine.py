@@ -1,0 +1,193 @@
+"""Unit tests for the cycle-driven simulation engine."""
+
+import pytest
+
+from repro.sim.engine import ClockedComponent, Engine
+
+
+class Recorder(ClockedComponent):
+    """Records the cycles at which each phase ran."""
+
+    def __init__(self):
+        self.evaluated = []
+        self.advanced = []
+
+    def evaluate(self, cycle):
+        self.evaluated.append(cycle)
+
+    def advance(self, cycle):
+        self.advanced.append(cycle)
+
+
+def test_step_advances_cycle():
+    engine = Engine()
+    assert engine.cycle == 0
+    engine.step()
+    assert engine.cycle == 1
+
+
+def test_components_called_each_cycle():
+    engine = Engine()
+    recorder = Recorder()
+    engine.register(recorder)
+    engine.run(3)
+    assert recorder.evaluated == [0, 1, 2]
+    assert recorder.advanced == [0, 1, 2]
+
+
+def test_two_phase_order_within_cycle():
+    engine = Engine()
+    order = []
+
+    class A(ClockedComponent):
+        def evaluate(self, cycle):
+            order.append("eval-a")
+
+        def advance(self, cycle):
+            order.append("adv-a")
+
+    class B(ClockedComponent):
+        def evaluate(self, cycle):
+            order.append("eval-b")
+
+        def advance(self, cycle):
+            order.append("adv-b")
+
+    engine.register(A())
+    engine.register(B())
+    engine.step()
+    # All evaluations precede all advances.
+    assert order == ["eval-a", "eval-b", "adv-a", "adv-b"]
+
+
+def test_register_rejects_non_component():
+    engine = Engine()
+    with pytest.raises(TypeError):
+        engine.register(object())
+
+
+def test_unregister_stops_updates():
+    engine = Engine()
+    recorder = Recorder()
+    engine.register(recorder)
+    engine.run(1)
+    engine.unregister(recorder)
+    engine.run(1)
+    assert recorder.evaluated == [0]
+
+
+def test_event_fires_at_scheduled_cycle():
+    engine = Engine()
+    fired = []
+    engine.schedule(3, lambda: fired.append(engine.cycle))
+    engine.run(5)
+    assert fired == [3]
+
+
+def test_event_zero_delay_fires_on_current_cycle():
+    engine = Engine()
+    fired = []
+    engine.schedule(0, lambda: fired.append(engine.cycle))
+    engine.step()
+    assert fired == [0]
+
+
+def test_event_cancellation():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(2, lambda: fired.append(1))
+    event.cancel()
+    engine.run(5)
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_events_fire_in_schedule_order_same_cycle():
+    engine = Engine()
+    fired = []
+    engine.schedule(1, lambda: fired.append("first"))
+    engine.schedule(1, lambda: fired.append("second"))
+    engine.run(2)
+    assert fired == ["first", "second"]
+
+
+def test_events_fire_before_component_evaluate():
+    engine = Engine()
+    order = []
+
+    class Watcher(ClockedComponent):
+        def evaluate(self, cycle):
+            order.append(f"eval@{cycle}")
+
+    engine.register(Watcher())
+    engine.schedule(1, lambda: order.append("event@1"))
+    engine.run(2)
+    assert order.index("event@1") < order.index("eval@1")
+
+
+def test_run_until_predicate():
+    engine = Engine()
+    count = []
+
+    class Counter(ClockedComponent):
+        def advance(self, cycle):
+            count.append(cycle)
+
+    engine.register(Counter())
+    executed = engine.run_until(lambda: len(count) >= 5)
+    assert executed == 5
+
+
+def test_run_until_deadlock_detection():
+    engine = Engine()
+    with pytest.raises(RuntimeError, match="deadlock"):
+        engine.run_until(lambda: False, max_cycles=10)
+
+
+def test_stop_interrupts_run():
+    engine = Engine()
+
+    class Stopper(ClockedComponent):
+        def __init__(self, eng):
+            self.engine = eng
+
+        def advance(self, cycle):
+            if cycle == 2:
+                self.engine.stop()
+
+    engine.register(Stopper(engine))
+    executed = engine.run(100)
+    assert executed == 3
+
+
+def test_peek_next_event_cycle_skips_cancelled():
+    engine = Engine()
+    event = engine.schedule(2, lambda: None)
+    engine.schedule(5, lambda: None)
+    assert engine.peek_next_event_cycle() == 2
+    event.cancel()
+    assert engine.peek_next_event_cycle() == 5
+
+
+def test_event_scheduled_during_advance_fires_next_cycle():
+    engine = Engine()
+    fired = []
+
+    class Scheduler(ClockedComponent):
+        def __init__(self, eng):
+            self.engine = eng
+            self.done = False
+
+        def advance(self, cycle):
+            if not self.done:
+                self.done = True
+                self.engine.schedule(1, lambda: fired.append(engine.cycle))
+
+    engine.register(Scheduler(engine))
+    engine.run(3)
+    assert fired == [1]

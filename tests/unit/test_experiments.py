@@ -1,0 +1,92 @@
+"""Unit tests for the experiment harness (scales, runner, formatting)."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.experiments.config import (
+    FULL,
+    QUICK,
+    ExperimentScale,
+    current_scale,
+)
+from repro.experiments.runner import SCHEME_ORDER, format_table, run_scheme
+from repro.experiments import table1, table2
+
+
+class TestScales:
+    def test_default_scale_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale() is QUICK
+
+    def test_env_selects_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert current_scale() is FULL
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_warmup_events_counts_all_cpus(self):
+        scale = ExperimentScale(
+            name="x", refs_per_cpu=1000, warmup_fraction=0.5
+        )
+        assert scale.warmup_events == 4000
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", "1"], ["b", "22"]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_handles_wide_cells(self):
+        text = format_table(["x"], [["longer-than-header"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("longer-than-header")
+
+
+class TestRunner:
+    def test_scheme_order_matches_paper(self):
+        assert SCHEME_ORDER == (
+            Scheme.CMP_DNUCA,
+            Scheme.CMP_DNUCA_2D,
+            Scheme.CMP_SNUCA_3D,
+            Scheme.CMP_DNUCA_3D,
+        )
+
+    def test_run_scheme_tiny(self):
+        scale = ExperimentScale(name="tiny", refs_per_cpu=400)
+        stats = run_scheme(Scheme.CMP_DNUCA_3D, "art", scale=scale)
+        assert stats.l2_accesses > 0
+        assert stats.scheme == Scheme.CMP_DNUCA_3D
+
+    def test_run_scheme_respects_topology_args(self):
+        scale = ExperimentScale(name="tiny", refs_per_cpu=200)
+        stats = run_scheme(
+            Scheme.CMP_SNUCA_3D, "art",
+            num_layers=4, num_pillars=8, scale=scale,
+        )
+        assert stats.l2_accesses > 0
+
+
+class TestStaticTables:
+    def test_table1_runs(self):
+        assert len(table1.run()) == 3
+
+    def test_table2_runs(self):
+        rows = table2.run()
+        assert [pitch for pitch, __ in rows] == [10.0, 5.0, 1.0, 0.2]
+
+    def test_table_mains_print(self, capsys):
+        table1.main()
+        table2.main()
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert "Table 2" in captured.out

@@ -1,0 +1,122 @@
+"""Unit tests for the analytic models (Tables 1-2, Cacti, wiring)."""
+
+import pytest
+
+from repro.models.components import (
+    DTDMA_ARBITER,
+    DTDMA_RX_TX,
+    NOC_ROUTER_5PORT,
+    pillar_overhead_vs_router,
+    table1_rows,
+)
+from repro.models.via import (
+    area_overhead_vs_router,
+    pillar_area_um2,
+    pillar_wire_count,
+    table2_rows,
+)
+from repro.models.cacti import CactiModel, CacheArraySpec
+from repro.models.wiring import (
+    average_wire_length_mm,
+    mesh_hop_wire_mm,
+    wire_length_scale_factor,
+)
+
+
+class TestTable1:
+    def test_recorded_values(self):
+        assert NOC_ROUTER_5PORT.power_w == pytest.approx(0.11955)
+        assert NOC_ROUTER_5PORT.area_mm2 == pytest.approx(0.3748)
+        assert DTDMA_RX_TX.power_w == pytest.approx(97.39e-6)
+        assert DTDMA_ARBITER.area_mm2 == pytest.approx(0.0006548)
+
+    def test_rows_in_paper_order(self):
+        names = [row[0] for row in table1_rows()]
+        assert names[0].startswith("Generic NoC Router")
+
+    def test_pillar_overhead_orders_of_magnitude_below_router(self):
+        power_ratio, area_ratio = pillar_overhead_vs_router(4)
+        assert power_ratio < 0.01
+        assert area_ratio < 0.01
+
+
+class TestTable2:
+    def test_wire_count_is_170(self):
+        # 128-bit bus + 3 x 14 control wires in a 4-layer chip.
+        assert pillar_wire_count(128, 4) == 170
+
+    def test_paper_areas_reproduced(self):
+        rows = dict(table2_rows())
+        assert rows[10.0] == pytest.approx(62_500, rel=1e-6)
+        assert rows[5.0] == pytest.approx(15_625, rel=1e-6)
+        assert rows[1.0] == pytest.approx(625, rel=1e-6)
+        assert rows[0.2] == pytest.approx(25, rel=1e-6)
+
+    def test_area_scales_with_pitch_squared(self):
+        assert pillar_area_um2(10.0) / pillar_area_um2(5.0) == pytest.approx(4)
+
+    def test_five_um_overhead_about_four_percent(self):
+        # The paper: "even at a pitch of 5 um, a pillar induces an area
+        # overhead of around 4% to the generic 5-port NoC router".
+        assert area_overhead_vs_router(5.0) == pytest.approx(0.04, abs=0.005)
+
+    def test_invalid_pitch(self):
+        with pytest.raises(ValueError):
+            pillar_area_um2(0.0)
+
+
+class TestCacti:
+    def test_paper_anchors(self):
+        model = CactiModel()
+        assert model.access_cycles(CacheArraySpec(64)) == 5
+        assert model.tag_cycles(CacheArraySpec(24)) == 4
+
+    def test_latency_grows_with_size(self):
+        model = CactiModel()
+        assert (
+            model.access_cycles(CacheArraySpec(256))
+            > model.access_cycles(CacheArraySpec(64))
+        )
+
+    def test_tag_array_sizing_matches_paper(self):
+        # 16 x 64KB cluster -> 24 KB tag array (Table 4).
+        model = CactiModel()
+        assert model.tag_array_kb(16, CacheArraySpec(64)) == pytest.approx(
+            24.0
+        )
+
+    def test_energy_and_leakage_scale(self):
+        model = CactiModel()
+        small = CacheArraySpec(64)
+        large = CacheArraySpec(256)
+        assert model.dynamic_read_energy_nj(large) > (
+            model.dynamic_read_energy_nj(small)
+        )
+        assert model.leakage_w(large) == pytest.approx(
+            4 * model.leakage_w(small)
+        )
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            CactiModel(frequency_ghz=0)
+
+
+class TestWiring:
+    def test_sqrt_scaling(self):
+        # Figure 2: a 4-layer 3D design has ~sqrt(4) = 2x shorter wires.
+        assert wire_length_scale_factor(4) == pytest.approx(2.0)
+
+    def test_average_length(self):
+        assert average_wire_length_mm(10.0, 4) == pytest.approx(5.0)
+
+    def test_hop_wire_for_64kb_bank(self):
+        # ~1.5 mm between routers for a 64KB bank at 70 nm (Section 3).
+        assert mesh_hop_wire_mm(2.25) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wire_length_scale_factor(0)
+        with pytest.raises(ValueError):
+            average_wire_length_mm(-1, 2)
+        with pytest.raises(ValueError):
+            mesh_hop_wire_mm(0)

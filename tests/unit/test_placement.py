@@ -1,0 +1,169 @@
+"""Unit tests for pillar placement and the CPU placement policies."""
+
+import pytest
+
+from repro.core.chip import ChipConfig
+from repro.core.placement import (
+    PlacementPolicy,
+    algorithm1_offsets,
+    build_topology,
+    place_cpus,
+    place_pillars,
+)
+
+
+class TestPillarPlacement:
+    def test_default_eight_pillars(self):
+        pillars = place_pillars(ChipConfig())
+        assert len(pillars) == 8
+        assert len(set(pillars)) == 8
+
+    def test_pillars_off_edges(self):
+        config = ChipConfig()
+        width, height = config.mesh_dims
+        for x, y in place_pillars(config):
+            assert 0 < x < width - 1
+            assert 0 < y < height - 1
+
+    def test_2d_has_no_pillars(self):
+        assert place_pillars(ChipConfig(num_layers=1, num_pillars=0)) == []
+
+    def test_fewer_pillars_still_spread(self):
+        pillars = place_pillars(ChipConfig(num_pillars=2))
+        assert len(pillars) == 2
+        (x1, y1), (x2, y2) = pillars
+        assert abs(x1 - x2) + abs(y1 - y2) >= 6
+
+
+class TestAlgorithm1:
+    def test_case_table_matches_paper(self):
+        # The four layer cases of Algorithm 1, literally.
+        assert algorithm1_offsets(0, 2, 1) == [(1, 0), (-1, 0)]
+        assert algorithm1_offsets(1, 2, 1) == [(0, 1), (0, -1)]
+        assert algorithm1_offsets(2, 2, 1) == [(2, 0), (-2, 0)]
+        assert algorithm1_offsets(3, 2, 1) == [(0, 2), (0, -2)]
+
+    def test_c4_cases(self):
+        assert algorithm1_offsets(0, 4, 1) == [
+            (2, 0), (-2, 0), (0, 2), (0, -2)
+        ]
+        assert algorithm1_offsets(1, 4, 1) == [
+            (1, 1), (1, -1), (-1, 1), (-1, -1)
+        ]
+
+    def test_k_scales_offsets(self):
+        assert algorithm1_offsets(0, 2, 2) == [(2, 0), (-2, 0)]
+
+    def test_pattern_repeats_every_four_layers(self):
+        assert algorithm1_offsets(4, 2, 1) == algorithm1_offsets(0, 2, 1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            algorithm1_offsets(0, 3, 1)
+        with pytest.raises(ValueError):
+            algorithm1_offsets(0, 2, 0)
+
+    def test_consecutive_layers_never_align(self):
+        # CPUs on adjacent layers must not share (dx, dy): thermal rule.
+        for c in (2, 4):
+            for layer in range(3):
+                now = set(algorithm1_offsets(layer, c, 1))
+                above = set(algorithm1_offsets(layer + 1, c, 1))
+                assert now.isdisjoint(above)
+
+
+class TestCpuPlacement:
+    def test_maximal_offset_one_per_pillar(self):
+        config = ChipConfig()
+        pillars = place_pillars(config)
+        positions = place_cpus(config, PlacementPolicy.MAXIMAL_OFFSET, pillars)
+        assert len(positions) == 8
+        # each CPU adjacent to some pillar, never on one
+        for coord in positions.values():
+            distances = [
+                abs(coord.x - x) + abs(coord.y - y) for x, y in pillars
+            ]
+            assert min(distances) == 1
+
+    def test_maximal_offset_spreads_layers(self):
+        config = ChipConfig()
+        positions = place_cpus(
+            config, PlacementPolicy.MAXIMAL_OFFSET, place_pillars(config)
+        )
+        layers = [coord.z for coord in positions.values()]
+        assert layers.count(0) == 4 and layers.count(1) == 4
+
+    def test_maximal_offset_no_vertical_alignment(self):
+        config = ChipConfig()
+        positions = place_cpus(
+            config, PlacementPolicy.MAXIMAL_OFFSET, place_pillars(config)
+        )
+        columns = [(c.x, c.y) for c in positions.values()]
+        assert len(set(columns)) == len(columns)
+
+    def test_stacked_aligns_cpus(self):
+        config = ChipConfig()
+        positions = place_cpus(
+            config, PlacementPolicy.STACKED, place_pillars(config)
+        )
+        columns = {}
+        for coord in positions.values():
+            columns.setdefault((coord.x, coord.y), []).append(coord.z)
+        assert any(len(zs) == 2 for zs in columns.values())
+
+    def test_algorithm1_two_pillars(self):
+        config = ChipConfig(num_pillars=2)
+        pillars = place_pillars(config)
+        positions = place_cpus(config, PlacementPolicy.ALGORITHM1, pillars)
+        assert len(positions) == 8
+        assert len(set(positions.values())) == 8
+
+    def test_center_2d(self):
+        config = ChipConfig(num_layers=1, num_pillars=0)
+        positions = place_cpus(config, PlacementPolicy.CENTER_2D, [])
+        width, height = config.mesh_dims
+        for coord in positions.values():
+            assert 0 < coord.x < width - 1
+            assert 0 < coord.y < height - 1
+            assert coord.z == 0
+
+    def test_edge_2d(self):
+        config = ChipConfig(num_layers=1, num_pillars=0)
+        positions = place_cpus(config, PlacementPolicy.EDGE_2D, [])
+        height = config.mesh_dims[1]
+        for coord in positions.values():
+            assert coord.y in (0, height - 1)
+
+    def test_2d_policies_reject_multilayer(self):
+        with pytest.raises(ValueError):
+            place_cpus(ChipConfig(), PlacementPolicy.CENTER_2D, [(2, 2)])
+
+    def test_3d_policies_reject_single_layer(self):
+        config = ChipConfig(num_layers=1, num_pillars=0)
+        with pytest.raises(ValueError):
+            place_cpus(config, PlacementPolicy.MAXIMAL_OFFSET, [])
+
+    def test_cpus_never_on_pillar_nodes(self):
+        config = ChipConfig()
+        pillars = place_pillars(config)
+        positions = place_cpus(config, PlacementPolicy.MAXIMAL_OFFSET, pillars)
+        pillar_set = set(pillars)
+        for coord in positions.values():
+            assert (coord.x, coord.y) not in pillar_set
+
+
+class TestBuildTopology:
+    def test_default_policies(self):
+        topo3d = build_topology(ChipConfig())
+        assert len(topo3d.cpu_positions) == 8
+        topo2d = build_topology(ChipConfig(num_layers=1, num_pillars=0))
+        assert topo2d.pillar_xys == []
+
+    def test_shared_pillars_fall_back_to_algorithm1(self):
+        topo = build_topology(ChipConfig(num_pillars=4))
+        assert len(topo.cpu_positions) == 8
+
+    def test_four_layer_topology(self):
+        topo = build_topology(ChipConfig(num_layers=4))
+        layers = {c.z for c in topo.cpu_positions.values()}
+        assert layers == {0, 1, 2, 3}

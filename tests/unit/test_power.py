@@ -1,0 +1,81 @@
+"""Unit tests for the energy accounting subsystem."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.core.system import NetworkInMemory, SystemConfig
+from repro.power.energy import EnergyBreakdown, EnergyModel, account_run
+from repro.power.report import compare_energy, energy_report
+from repro.workloads.generator import SyntheticWorkload
+
+
+@pytest.fixture(scope="module")
+def completed_run():
+    system = NetworkInMemory(SystemConfig(scheme=Scheme.CMP_DNUCA_3D))
+    workload = SyntheticWorkload("swim", refs_per_cpu=8_000)
+    stats = system.run_trace(workload.traces(), warmup_events=20_000)
+    return system, stats
+
+
+class TestEnergyModel:
+    def test_bus_cheaper_than_hop(self):
+        model = EnergyModel()
+        assert model.bus_flit_j < model.router_flit_j + model.link_flit_j
+
+    def test_from_cacti_scales_with_array_size(self):
+        small = EnergyModel.from_cacti(bank_kb=64)
+        large = EnergyModel.from_cacti(bank_kb=256)
+        assert large.bank_access_j > small.bank_access_j
+
+
+class TestBreakdown:
+    def test_total_sums_components(self):
+        breakdown = EnergyBreakdown(
+            network_j=1.0, bus_j=2.0, tag_j=3.0, bank_j=4.0, dram_j=5.0
+        )
+        assert breakdown.total_j == 15.0
+        assert breakdown.l2_dynamic_j == 10.0
+
+    def test_scaled(self):
+        breakdown = EnergyBreakdown(network_j=10.0, migration_j=4.0)
+        half = breakdown.scaled(0.5)
+        assert half.network_j == 5.0
+        assert half.migration_j == 2.0
+
+
+class TestAccounting:
+    def test_all_components_positive(self, completed_run):
+        system, stats = completed_run
+        breakdown = account_run(system, stats)
+        assert breakdown.network_j > 0
+        assert breakdown.bus_j > 0        # 3D scheme uses the pillars
+        assert breakdown.tag_j > 0
+        assert breakdown.bank_j > 0
+        assert breakdown.dram_j > 0
+        assert breakdown.migration_j > 0  # DNUCA-3D migrates
+
+    def test_report_renders(self, completed_run):
+        system, stats = completed_run
+        text = energy_report(system, stats)
+        assert "network" in text
+        assert "total" in text
+        assert stats.scheme.value in text
+
+    def test_migration_energy_tracks_policy(self):
+        """The paper's power claim: no migration, no migration energy."""
+        results = {}
+        for scheme in (Scheme.CMP_SNUCA_3D, Scheme.CMP_DNUCA_3D):
+            system = NetworkInMemory(SystemConfig(scheme=scheme))
+            workload = SyntheticWorkload("swim", refs_per_cpu=8_000)
+            stats = system.run_trace(workload.traces(), warmup_events=20_000)
+            results[scheme] = account_run(system, stats)
+        assert results[Scheme.CMP_SNUCA_3D].migration_j == 0.0
+        assert results[Scheme.CMP_DNUCA_3D].migration_j > 0.0
+
+    def test_compare_energy_normalizes(self, completed_run):
+        system, stats = completed_run
+        per_access = compare_energy({"run": (system, stats)})
+        raw = account_run(system, stats)
+        assert per_access["run"].total_j == pytest.approx(
+            raw.total_j / stats.l2_accesses
+        )

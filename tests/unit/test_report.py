@@ -1,0 +1,63 @@
+"""Unit tests for the ASCII chart renderers."""
+
+from repro.experiments.report import bar_chart, grouped_bar_chart, trend_lines
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert bar_chart({}) == "(empty)"
+
+    def test_labels_aligned(self):
+        text = bar_chart({"short": 1.0, "a-longer-label": 2.0})
+        starts = [line.index("|") for line in text.splitlines()]
+        assert len(set(starts)) == 1
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0.0})
+        assert "#" not in text
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        text = grouped_bar_chart(
+            {"swim": {"2D": 80.0, "3D": 60.0}, "art": {"2D": 70.0, "3D": 55.0}}
+        )
+        assert "swim:" in text and "art:" in text
+        assert text.count("|") == 4
+
+    def test_global_scale(self):
+        text = grouped_bar_chart(
+            {"g1": {"s": 100.0}, "g2": {"s": 50.0}}, width=10
+        )
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert grouped_bar_chart({}) == "(empty)"
+
+
+class TestTrendLines:
+    def test_direction_annotation(self):
+        text = trend_lines(
+            {
+                "up": [(1, 1.0), (2, 2.0)],
+                "down": [(1, 2.0), (2, 1.0)],
+            }
+        )
+        lines = dict(
+            (line.split(":")[0], line) for line in text.splitlines()
+        )
+        assert "[rising]" in lines["up"]
+        assert "[falling]" in lines["down"]
+
+    def test_points_rendered(self):
+        text = trend_lines({"s": [(16, 70.0), (32, 75.5)]})
+        assert "16:70.0" in text
+        assert "32:75.5" in text

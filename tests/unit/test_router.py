@@ -1,0 +1,144 @@
+"""Unit tests for the wormhole router: credits, VC allocation, forwarding."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.noc.flit import FlitType
+from repro.noc.packet import Packet
+from repro.noc.router import Router, connect
+from repro.noc.routing import Coord, Port
+
+
+def make_pair(engine, link_latency=1):
+    """Two routers connected EAST->WEST, upstream at (0,0)."""
+    up = Router(Coord(0, 0, 0))
+    down = Router(Coord(1, 0, 0))
+    engine.register(up)
+    engine.register(down)
+    connect(engine, up, Port.EAST, down, Port.WEST, link_latency)
+    return up, down
+
+
+def drain_sink(router, port=Port.LOCAL):
+    """Give a router an always-accepting LOCAL output; returns the sink."""
+    received = []
+    router.add_output_port(
+        port, downstream_depth=10**6,
+        deliver=lambda flit, vc: received.append(flit),
+    )
+    return received
+
+
+def inject(router, packet, vc=0, port=Port.LOCAL):
+    """Push a whole packet into one input VC (bypassing a NIC)."""
+    if port not in router.input_ports:
+        router.add_input_port(port)
+    for flit in packet.make_flits():
+        router.input_ports[port].accept(flit, vc)
+
+
+def test_flit_traverses_two_routers():
+    engine = Engine()
+    up, down = make_pair(engine)
+    received = drain_sink(down)
+    packet = Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=4)
+    inject(up, packet)
+    engine.run(20)
+    assert len(received) == 4
+    assert received[0].is_head and received[-1].is_tail
+
+
+def test_one_flit_per_output_per_cycle():
+    engine = Engine()
+    up, down = make_pair(engine)
+    received = drain_sink(down)
+    # Two packets in different VCs of the same input contend for EAST.
+    first = Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=4)
+    second = Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=4)
+    inject(up, first, vc=0)
+    inject(up, second, vc=1)
+    engine.run(40)
+    assert len(received) == 8
+
+
+def test_wormhole_flits_do_not_interleave_within_vc():
+    engine = Engine()
+    up, down = make_pair(engine)
+    received = drain_sink(down)
+    for vc in (0, 1, 2):
+        inject(
+            up,
+            Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=4),
+            vc=vc,
+        )
+    engine.run(60)
+    assert len(received) == 12
+    # Per downstream VC, flits of one packet arrive head..tail contiguously.
+    per_packet_progress = {}
+    for flit in received:
+        expected = per_packet_progress.get(flit.packet.packet_id, 0)
+        assert flit.index == expected
+        per_packet_progress[flit.packet.packet_id] = expected + 1
+
+
+def test_credits_block_when_downstream_full():
+    engine = Engine()
+    up, down = make_pair(engine)
+    # No sink on downstream: its WEST input buffers (3 VCs x 4 flits)
+    # are the only capacity; packets head to LOCAL which has no output.
+    down.add_output_port(Port.LOCAL, 4, deliver=lambda f, v: None)
+    # Saturate with more flits than the downstream VC can hold.
+    for vc in range(3):
+        inject(up, Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=4), vc=vc)
+    engine.run(10)
+    # Upstream may not overflow the downstream buffer.
+    for vc in down.input_ports[Port.WEST].vcs:
+        assert vc.occupancy <= down.vc_depth
+
+
+def test_buffered_flits_accounting():
+    engine = Engine()
+    router = Router(Coord(0, 0, 0))
+    engine.register(router)
+    inject(router, Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=4))
+    assert router.buffered_flits() == 4
+
+
+def test_router_requires_output_port_for_route():
+    engine = Engine()
+    router = Router(Coord(0, 0, 0))
+    engine.register(router)
+    inject(router, Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=1))
+    with pytest.raises(RuntimeError, match="no output port"):
+        engine.run(2)
+
+
+def test_input_vc_overflow_detected():
+    router = Router(Coord(0, 0, 0), vc_depth=2)
+    port = router.add_input_port(Port.WEST)
+    packet = Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=4)
+    flits = packet.make_flits()
+    port.accept(flits[0], 0)
+    port.accept(flits[1], 0)
+    with pytest.raises(RuntimeError, match="overflow"):
+        port.accept(flits[2], 0)
+
+
+def test_link_latency_delays_delivery():
+    slow_engine = Engine()
+    up, down = make_pair(slow_engine, link_latency=5)
+    received = drain_sink(down)
+    inject(up, Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=1))
+    slow_engine.run(3)
+    assert not received
+    slow_engine.run(10)
+    assert len(received) == 1
+
+
+def test_output_port_free_vc_prefers_requested():
+    engine = Engine()
+    up, __ = make_pair(engine)
+    output = up.output_ports[Port.EAST]
+    assert output.free_vc(preferred=1) == 1
+    output.vc_busy[1] = True
+    assert output.free_vc(preferred=1) == 2

@@ -1,0 +1,118 @@
+"""Unit tests for coordinates, routing, and pillar selection."""
+
+import pytest
+
+from repro.noc.routing import (
+    Coord,
+    Port,
+    OPPOSITE_PORT,
+    best_pillar,
+    dimension_order_route,
+    route_hop_count,
+    xy_route,
+)
+
+
+class TestCoord:
+    def test_manhattan_2d_ignores_layer(self):
+        assert Coord(0, 0, 0).manhattan_2d(Coord(3, 4, 1)) == 7
+
+    def test_same_layer(self):
+        assert Coord(1, 1, 2).same_layer(Coord(5, 5, 2))
+        assert not Coord(1, 1, 0).same_layer(Coord(1, 1, 1))
+
+
+class TestXYRoute:
+    def test_x_first(self):
+        # X is corrected before Y (dimension order).
+        assert xy_route(Coord(0, 0), 3, 3) == Port.EAST
+        assert xy_route(Coord(3, 0), 3, 3) == Port.NORTH
+
+    def test_all_directions(self):
+        assert xy_route(Coord(5, 5), 2, 5) == Port.WEST
+        assert xy_route(Coord(5, 5), 5, 2) == Port.SOUTH
+
+    def test_arrival(self):
+        assert xy_route(Coord(4, 4), 4, 4) == Port.LOCAL
+
+
+class TestDimensionOrderRoute:
+    def test_same_layer_ignores_pillar(self):
+        port = dimension_order_route(Coord(0, 0, 0), Coord(2, 0, 0))
+        assert port == Port.EAST
+
+    def test_heads_to_pillar_when_crossing_layers(self):
+        port = dimension_order_route(
+            Coord(0, 0, 0), Coord(0, 0, 1), pillar_xy=(3, 0)
+        )
+        assert port == Port.EAST
+
+    def test_vertical_at_pillar(self):
+        port = dimension_order_route(
+            Coord(3, 0, 0), Coord(0, 0, 1), pillar_xy=(3, 0)
+        )
+        assert port == Port.VERTICAL
+
+    def test_missing_pillar_raises(self):
+        with pytest.raises(ValueError):
+            dimension_order_route(Coord(0, 0, 0), Coord(0, 0, 1))
+
+    def test_route_terminates_at_destination(self):
+        # Walk the route; it must reach LOCAL within the hop bound.
+        current = Coord(0, 0, 0)
+        dest = Coord(3, 2, 1)
+        pillar = (1, 1)
+        hops = 0
+        while True:
+            port = dimension_order_route(current, dest, pillar)
+            if port == Port.LOCAL:
+                break
+            hops += 1
+            assert hops <= 20, "routing loop"
+            if port == Port.VERTICAL:
+                current = Coord(current.x, current.y, dest.z)
+            elif port == Port.EAST:
+                current = Coord(current.x + 1, current.y, current.z)
+            elif port == Port.WEST:
+                current = Coord(current.x - 1, current.y, current.z)
+            elif port == Port.NORTH:
+                current = Coord(current.x, current.y + 1, current.z)
+            else:
+                current = Coord(current.x, current.y - 1, current.z)
+        assert current == dest
+        assert hops == route_hop_count(Coord(0, 0, 0), dest, pillar)
+
+
+class TestHopCount:
+    def test_same_layer(self):
+        assert route_hop_count(Coord(0, 0, 0), Coord(3, 4, 0)) == 7
+
+    def test_cross_layer_counts_bus_as_one(self):
+        hops = route_hop_count(Coord(0, 0, 0), Coord(0, 0, 1), (2, 0))
+        assert hops == 2 + 1 + 2
+
+    def test_missing_pillar_raises(self):
+        with pytest.raises(ValueError):
+            route_hop_count(Coord(0, 0, 0), Coord(0, 0, 1))
+
+
+class TestBestPillar:
+    def test_minimizes_total_path(self):
+        pillars = [(0, 0), (5, 5)]
+        chosen = best_pillar(Coord(4, 4, 0), Coord(6, 6, 1), pillars)
+        assert chosen == (5, 5)
+
+    def test_tie_breaks_toward_source(self):
+        pillars = [(0, 0), (4, 4)]
+        # Both give the same total; (4, 4) is nearer the source.
+        chosen = best_pillar(Coord(4, 4, 0), Coord(0, 0, 1), pillars)
+        assert chosen == (4, 4)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_pillar(Coord(0, 0, 0), Coord(0, 0, 1), [])
+
+
+def test_opposite_ports_are_symmetric():
+    for port, opposite in OPPOSITE_PORT.items():
+        assert OPPOSITE_PORT[opposite] == port

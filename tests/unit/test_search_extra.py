@@ -1,0 +1,51 @@
+"""Search-plan coverage across topologies (layer/pillar variants)."""
+
+import pytest
+
+from repro.core.chip import ChipConfig
+from repro.core.placement import build_topology
+from repro.cache.search import SearchPolicy
+
+
+def plan_for(layers, pillars):
+    if layers == 1:
+        config = ChipConfig(num_layers=1, num_pillars=0)
+    else:
+        config = ChipConfig(num_layers=layers, num_pillars=pillars)
+    topology = build_topology(config)
+    return SearchPolicy(topology), topology
+
+
+def test_four_layer_vicinity_cylinder():
+    policy, topology = plan_for(4, 8)
+    for cpu in range(8):
+        plan = policy.plan(cpu)
+        layers_covered = {
+            topology.clusters[c].layer for c in plan.step1
+        }
+        # The pillar broadcast reaches every layer (Figure 8's cylinder).
+        assert layers_covered == {0, 1, 2, 3}
+
+
+def test_step1_fraction_grows_with_layers():
+    fractions = {}
+    for layers in (1, 2, 4):
+        policy, __ = plan_for(layers, 8 if layers > 1 else 0)
+        sizes = [len(policy.plan(cpu).step1) for cpu in range(8)]
+        fractions[layers] = sum(sizes) / len(sizes) / 16
+    assert fractions[1] < fractions[2] < fractions[4]
+
+
+def test_all_cpus_have_disjoint_step_sets():
+    policy, __ = plan_for(2, 8)
+    for cpu in range(8):
+        plan = policy.plan(cpu)
+        assert set(plan.step1).isdisjoint(plan.step2)
+        assert len(set(plan.step1)) == len(plan.step1)
+
+
+def test_fewer_pillars_still_full_coverage():
+    policy, __ = plan_for(2, 2)
+    for cpu in range(8):
+        plan = policy.plan(cpu)
+        assert sorted(plan.step1 + plan.step2) == list(range(16))

@@ -1,0 +1,56 @@
+"""Additional kernel edge-case tests: engine/event interactions."""
+
+import pytest
+
+from repro.sim.engine import ClockedComponent, Engine
+from repro.sim.rng import make_rng
+
+
+def test_events_chain_across_cycles():
+    engine = Engine()
+    fired = []
+
+    def chain(n):
+        fired.append((engine.cycle, n))
+        if n > 0:
+            engine.schedule(2, lambda: chain(n - 1))
+
+    engine.schedule(0, lambda: chain(3))
+    engine.run(10)
+    assert fired == [(0, 3), (2, 2), (4, 1), (6, 0)]
+
+
+def test_component_exception_propagates():
+    class Broken(ClockedComponent):
+        def evaluate(self, cycle):
+            raise RuntimeError("boom")
+
+    engine = Engine()
+    engine.register(Broken())
+    with pytest.raises(RuntimeError, match="boom"):
+        engine.step()
+
+
+def test_many_events_same_cycle_ordered():
+    engine = Engine()
+    seen = []
+    for i in range(50):
+        engine.schedule(1, lambda i=i: seen.append(i))
+    engine.run(2)
+    assert seen == list(range(50))
+
+
+def test_rng_independent_of_other_streams():
+    # Drawing from one stream never perturbs another.
+    a = make_rng(7, "x")
+    b = make_rng(7, "y")
+    first_b = b.integers(0, 1 << 30)
+    a.integers(0, 1 << 30, size=100)
+    fresh_b = make_rng(7, "y").integers(0, 1 << 30)
+    assert first_b == fresh_b
+
+
+def test_run_returns_executed_count():
+    engine = Engine()
+    assert engine.run(7) == 7
+    assert engine.cycle == 7

@@ -1,0 +1,114 @@
+"""Unit tests for statistics primitives."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, MovingAverage, StatsRegistry
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("events")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_reset(self):
+        counter = Counter("events")
+        counter.increment(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_mean_exact(self):
+        hist = Histogram("lat")
+        hist.extend([1, 2, 3, 4])
+        assert hist.mean == 2.5
+
+    def test_min_max(self):
+        hist = Histogram("lat")
+        hist.extend([5, 1, 9])
+        assert hist.min_value == 1
+        assert hist.max_value == 9
+
+    def test_stddev(self):
+        hist = Histogram("lat")
+        hist.extend([2, 4, 4, 4, 5, 5, 7, 9])
+        assert hist.stddev == pytest.approx(2.0)
+
+    def test_overflow_bucket(self):
+        hist = Histogram("lat", bucket_width=1.0, num_buckets=4)
+        hist.add(100)
+        assert hist.overflow == 1
+        assert hist.mean == 100  # mean stays exact despite bucketing
+
+    def test_percentile(self):
+        hist = Histogram("lat", bucket_width=1.0, num_buckets=100)
+        hist.extend(range(100))
+        assert hist.percentile(0.5) == pytest.approx(50, abs=2)
+        assert hist.percentile(0.99) == pytest.approx(99, abs=2)
+
+    def test_percentile_validation(self):
+        hist = Histogram("lat")
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_reset(self):
+        hist = Histogram("lat")
+        hist.extend([1, 2, 3])
+        hist.reset()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.min_value == math.inf
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Histogram("x", bucket_width=0)
+        with pytest.raises(ValueError):
+            Histogram("x", num_buckets=0)
+
+
+class TestMovingAverage:
+    def test_first_sample_initializes(self):
+        ema = MovingAverage(alpha=0.5)
+        assert ema.update(10.0) == 10.0
+
+    def test_converges_to_constant(self):
+        ema = MovingAverage(alpha=0.5)
+        for __ in range(50):
+            ema.update(3.0)
+        assert ema.value == pytest.approx(3.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            MovingAverage(alpha=0.0)
+        with pytest.raises(ValueError):
+            MovingAverage(alpha=1.5)
+
+
+class TestStatsRegistry:
+    def test_same_name_same_object(self):
+        registry = StatsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot(self):
+        registry = StatsRegistry()
+        registry.counter("c").increment(7)
+        registry.histogram("h").add(2.0)
+        snap = registry.snapshot()
+        assert snap["c"] == 7
+        assert snap["h.mean"] == 2.0
+        assert snap["h.count"] == 1
+
+    def test_reset_all(self):
+        registry = StatsRegistry()
+        registry.counter("c").increment()
+        registry.histogram("h").add(1.0)
+        registry.reset()
+        assert registry.counter("c").value == 0
+        assert registry.histogram("h").count == 0

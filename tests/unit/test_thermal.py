@@ -1,0 +1,146 @@
+"""Unit tests for the thermal solver, floorplans, and Table 3 shape."""
+
+import numpy as np
+import pytest
+
+from repro.core.chip import ChipConfig
+from repro.core.placement import PlacementPolicy, build_topology
+from repro.thermal.power import PowerModel, ThermalParams
+from repro.thermal.floorplan import build_floorplan
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.hotspot import simulate_thermal
+
+
+@pytest.fixture(scope="module")
+def topo2d():
+    return build_topology(ChipConfig(num_layers=1, num_pillars=0))
+
+
+@pytest.fixture(scope="module")
+def topo3d():
+    return build_topology(ChipConfig())
+
+
+class TestPowerModel:
+    def test_cpu_dominates(self):
+        model = PowerModel()
+        cpu = model.node_power(is_cpu=True, has_pillar=False, num_layers=2)
+        bank = model.node_power(is_cpu=False, has_pillar=False, num_layers=2)
+        assert cpu > 50 * bank
+
+    def test_pillar_overhead_tiny(self):
+        model = PowerModel()
+        plain = model.node_power(False, False, 2)
+        pillar = model.node_power(False, True, 2)
+        assert (pillar - plain) / plain < 0.01
+
+    def test_clock_gating(self):
+        model = PowerModel()
+        assert model.bank_idle_w < model.bank_w() < model.bank_active_w
+
+
+class TestFloorplan:
+    def test_shape(self, topo3d):
+        floorplan = build_floorplan(topo3d)
+        assert floorplan.power.shape == (2, 8, 16)
+
+    def test_total_power_plausible(self, topo3d):
+        floorplan = build_floorplan(topo3d)
+        # 8 CPUs x 8 W plus banks and routers: within [64, 120] W.
+        assert 64 < floorplan.total_power < 120
+
+    def test_cpu_cells_marked(self, topo3d):
+        floorplan = build_floorplan(topo3d)
+        assert len(floorplan.cpu_cells) == 8
+        for z, y, x in floorplan.cpu_cells:
+            assert floorplan.power[z, y, x] > 8.0
+
+
+class TestThermalGrid:
+    def test_temperatures_above_ambient(self, topo2d):
+        grid = ThermalGrid(build_floorplan(topo2d), ThermalParams())
+        field = grid.solve()
+        assert (field > ThermalParams().ambient_c).all()
+
+    def test_energy_conservation(self, topo2d):
+        # All generated heat must leave through the sink:
+        # sum(g_sink * (T_bottom - T_amb)) == total power.
+        params = ThermalParams()
+        floorplan = build_floorplan(topo2d)
+        grid = ThermalGrid(floorplan, params)
+        field = grid.solve()
+        sink_heat = params.g_sink * (field[0] - params.ambient_c).sum()
+        assert sink_heat == pytest.approx(floorplan.total_power, rel=1e-6)
+
+    def test_peak_at_cpu(self, topo2d):
+        floorplan = build_floorplan(topo2d)
+        grid = ThermalGrid(floorplan, ThermalParams())
+        field = grid.solve()
+        peak_cell = np.unravel_index(field.argmax(), field.shape)
+        assert tuple(int(v) for v in peak_cell) in floorplan.cpu_cells
+
+    def test_hotspots_listing(self, topo2d):
+        grid = ThermalGrid(build_floorplan(topo2d), ThermalParams())
+        grid.solve()
+        assert grid.hotspots(grid.peak + 1) == []
+        assert len(grid.hotspots(grid.minimum - 1)) == 16 * 16
+
+
+class TestTable3Shape:
+    """The orderings the paper's Table 3 demonstrates."""
+
+    @staticmethod
+    def _profile(layers, pillars, placement, k=1):
+        return simulate_thermal(
+            config=ChipConfig(num_layers=layers, num_pillars=pillars),
+            placement=placement,
+            k=k,
+        )
+
+    def test_3d_raises_average_temperature(self):
+        two_d = simulate_thermal(
+            config=ChipConfig(num_layers=1, num_pillars=0),
+            placement=PlacementPolicy.CENTER_2D,
+        )
+        two_layer = self._profile(2, 8, PlacementPolicy.MAXIMAL_OFFSET)
+        four_layer = self._profile(4, 8, PlacementPolicy.MAXIMAL_OFFSET)
+        assert two_d.avg_c < two_layer.avg_c < four_layer.avg_c
+
+    def test_average_independent_of_placement(self):
+        offset = self._profile(2, 8, PlacementPolicy.MAXIMAL_OFFSET)
+        stacked = self._profile(2, 8, PlacementPolicy.STACKED)
+        assert offset.avg_c == pytest.approx(stacked.avg_c, abs=0.5)
+
+    def test_stacking_creates_hotspots(self):
+        offset = self._profile(2, 8, PlacementPolicy.MAXIMAL_OFFSET)
+        stacked = self._profile(2, 8, PlacementPolicy.STACKED)
+        assert stacked.peak_c > offset.peak_c + 20
+
+    def test_larger_offset_cools_peak(self):
+        k1 = self._profile(2, 2, PlacementPolicy.ALGORITHM1, k=1)
+        k2 = self._profile(2, 2, PlacementPolicy.ALGORITHM1, k=2)
+        assert k2.peak_c < k1.peak_c
+
+    def test_four_layer_stacking_is_worst(self):
+        cases = [
+            self._profile(2, 8, PlacementPolicy.MAXIMAL_OFFSET),
+            self._profile(2, 8, PlacementPolicy.STACKED),
+            self._profile(4, 8, PlacementPolicy.MAXIMAL_OFFSET),
+            self._profile(4, 8, PlacementPolicy.STACKED),
+        ]
+        worst = max(cases, key=lambda p: p.peak_c)
+        assert worst is cases[-1]
+
+    def test_paper_2d_row_calibration(self):
+        profile = simulate_thermal(
+            config=ChipConfig(num_layers=1, num_pillars=0),
+            placement=PlacementPolicy.CENTER_2D,
+        )
+        # Calibrated against Table 3 row 1: 111.05 / 53.96 / 46.77.
+        assert profile.peak_c == pytest.approx(111.05, rel=0.05)
+        assert profile.avg_c == pytest.approx(53.96, rel=0.02)
+        assert profile.min_c == pytest.approx(46.77, rel=0.05)
+
+    def test_simulate_thermal_requires_input(self):
+        with pytest.raises(ValueError):
+            simulate_thermal()
