@@ -43,7 +43,11 @@ class CyclePricer:
                 layers=chip.num_layers,
                 pillar_locations=tuple(system.topology.pillar_xys),
                 packet_flits=system.config.data_flits,
-            )
+            ),
+            # One transaction leg in flight at a time leaves most of the
+            # fabric quiescent, which is exactly where the activity-tracked
+            # kernel's idle fast-forward pays off.
+            activity_tracking=system.config.activity_tracking,
         )
 
     # -- helpers ------------------------------------------------------------

@@ -68,6 +68,11 @@ class SystemConfig:
     request_flits: int = 1         # tag query / request header
     data_flits: int = 4            # 64B line = 4 x 128-bit flits
     cpi_base: float = 1.0
+    # Kernel selection for mode="cycle": the activity-tracked kernel skips
+    # quiescent fabric components and fast-forwards idle windows between
+    # transaction legs; False falls back to the naive tick-everything
+    # kernel (bit-identical results, much slower).
+    activity_tracking: bool = True
     # Consecutive same-CPU accesses before a gradual one-cluster move.
     # Lazy and conservative: shared lines whose accessors alternate are
     # left in place (anti-ping-pong).

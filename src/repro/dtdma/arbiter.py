@@ -62,7 +62,15 @@ class DynamicTDMAArbiter:
         """Pick the next active client in circular order, or ``None``.
 
         ``active`` is the set of clients with a deliverable flit this cycle.
+        Every member must have been registered (at construction or via
+        :meth:`add_client`); an unknown client raises ``ValueError`` rather
+        than being silently starved, which would mask wiring mistakes.
         """
+        if not active <= self._position.keys():
+            unknown = sorted(repr(c) for c in active - self._position.keys())
+            raise ValueError(
+                f"unregistered client(s) in active set: {', '.join(unknown)}"
+            )
         self._active_hist.add(len(active))
         if not active:
             self._idle.increment()
@@ -75,7 +83,19 @@ class DynamicTDMAArbiter:
                 self._last_granted_index = index
                 self._grants.increment()
                 return client
-        return None
+        raise AssertionError("unreachable: active is a subset of clients")
+
+    def account_idle(self, cycles: int) -> None:
+        """Bulk-record ``cycles`` idle cycles (no active clients).
+
+        Used by the activity-tracked kernel to replay skipped bus-idle
+        windows; equivalent to ``cycles`` calls to ``grant(set())``.
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        if cycles:
+            self._active_hist.add_many(0.0, cycles)
+            self._idle.increment(cycles)
 
     @property
     def utilization_samples(self) -> tuple[int, int]:

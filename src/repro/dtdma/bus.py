@@ -67,6 +67,7 @@ class PillarBus(ClockedComponent):
 
         for layer, router in routers.items():
             transceiver = Transceiver(layer, num_vcs, vc_depth)
+            transceiver.wake = self.wake
             self.transceivers[layer] = transceiver
 
             # Router VERTICAL output feeds the transceiver's TX queue.
@@ -102,6 +103,29 @@ class PillarBus(ClockedComponent):
         self._cycles = self.stats.counter("bus.total_cycles")
         self._transfers = self.stats.counter("bus.flit_transfers")
         self._queue_hist = self.stats.histogram("bus.tx_occupancy", 1.0, 64)
+        # First cycle whose per-cycle accounting has not been recorded yet.
+        # The bus records statistics every cycle under the naive kernel;
+        # under activity tracking the idle cycles it was skipped for are
+        # replayed in bulk (they are all zeros) on wake-up or flush.
+        self._next_unaccounted = engine.cycle
+
+    # -- activity tracking ---------------------------------------------------
+
+    def is_idle(self) -> bool:
+        """Idle iff no transceiver holds a flit (nothing to arbitrate)."""
+        return all(t.occupancy == 0 for t in self.transceivers.values())
+
+    def _account_idle(self, cycles: int) -> None:
+        """Replay ``cycles`` skipped idle cycles of per-cycle statistics."""
+        self._cycles.increment(cycles)
+        self._queue_hist.add_many(0.0, cycles)
+        self.arbiter.account_idle(cycles)
+
+    def flush_idle_stats(self, cycle: int) -> None:
+        gap = cycle - self._next_unaccounted
+        if gap > 0:
+            self._account_idle(gap)
+            self._next_unaccounted = cycle
 
     # -- credit bookkeeping -----------------------------------------------
 
@@ -135,6 +159,10 @@ class PillarBus(ClockedComponent):
         return self._rx_credits[dest_layer][vc] > 0
 
     def evaluate(self, cycle: int) -> None:
+        gap = cycle - self._next_unaccounted
+        if gap > 0:
+            self._account_idle(gap)
+        self._next_unaccounted = cycle + 1
         self._cycles.increment()
         active = {
             client

@@ -30,6 +30,9 @@ class Transceiver:
         self.depth = depth
         self.queues: list[deque[Flit]] = [deque() for __ in range(num_vcs)]
         self.credit_return: Optional[Callable[[int], None]] = None
+        # Wired to the owning bus's wake() so an enqueue re-activates an
+        # idle bus in the activity-tracked kernel.
+        self.wake: Optional[Callable[[], None]] = None
 
     def accept(self, flit: Flit, vc: int) -> None:
         queue = self.queues[vc]
@@ -38,6 +41,8 @@ class Transceiver:
                 f"transceiver overflow at layer {self.layer} vc={vc}"
             )
         queue.append(flit)
+        if self.wake is not None:
+            self.wake()
 
     def head(self, vc: int) -> Optional[Flit]:
         queue = self.queues[vc]

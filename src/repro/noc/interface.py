@@ -78,10 +78,19 @@ class NetworkInterface(ClockedComponent):
         """Queue a packet for transmission; latency clock starts now."""
         packet.created_cycle = self.engine.cycle
         self._inject_queue.append(packet)
+        self.wake()
 
     @property
     def pending_injections(self) -> int:
         return len(self._inject_queue) + len(self._current_flits)
+
+    def is_idle(self) -> bool:
+        """Idle iff nothing is queued or mid-segmentation for injection.
+
+        Ejection needs no activity: the router delivers into :meth:`_eject`
+        directly, so a NIC that is only receiving can stay retired.
+        """
+        return not self._current_flits and not self._inject_queue
 
     def evaluate(self, cycle: int) -> None:
         pass

@@ -15,7 +15,13 @@ from repro.noc.flit import Flit
 
 
 class Link:
-    """Delivers flits to ``sink(flit, vc)`` after ``latency`` cycles."""
+    """Delivers flits to ``sink(flit, vc)`` after ``latency`` cycles.
+
+    Activity contract: the link itself is stateless between transfers, so
+    it never needs waking; it is the *sink* (``InputPort.accept``, a
+    transceiver enqueue, a NIC ejection handler) that wakes its owning
+    component when the delayed delivery lands.
+    """
 
     def __init__(self, engine: Engine, sink: Callable[[Flit, int], None], latency: int = 1):
         if latency < 0:

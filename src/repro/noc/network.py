@@ -71,10 +71,15 @@ class Network:
         config: NetworkConfig,
         engine: Optional[Engine] = None,
         stats: Optional[StatsRegistry] = None,
+        activity_tracking: bool = True,
     ):
         config.validate()
         self.config = config
-        self.engine = engine or Engine("network")
+        # ``activity_tracking`` selects the kernel for a self-owned engine
+        # (ignored when an engine is supplied): the activity-tracked kernel
+        # skips quiescent routers/NICs/pillars and produces bit-identical
+        # results to the naive one.
+        self.engine = engine or Engine("network", activity_tracking=activity_tracking)
         self.stats = stats or StatsRegistry("network")
         self.routers: dict[Coord, Router] = {}
         self.nics: dict[Coord, NetworkInterface] = {}

@@ -61,6 +61,9 @@ class InputPort:
         self.vcs = [InputVC(depth) for __ in range(num_vcs)]
         self.depth = depth
         self.credit_return: Optional[Callable[[int], None]] = None
+        # The router this port belongs to: an arriving flit bumps its
+        # buffered-flit count and wakes it (activity-tracked kernel).
+        self.owner: Optional["Router"] = None
 
     def accept(self, flit: Flit, vc: int) -> None:
         """Deposit a flit into virtual channel ``vc`` (called by the link)."""
@@ -70,6 +73,10 @@ class InputPort:
                 f"input VC overflow (vc={vc}): credit protocol violated"
             )
         buffer.append(flit)
+        owner = self.owner
+        if owner is not None:
+            owner._buffered += 1
+            owner.wake()
 
 
 class OutputPort:
@@ -142,6 +149,9 @@ class Router(ClockedComponent):
         # list of (input_port, vc_index, output_port_obj, out_vc)
         self._grants: list[tuple[Port, int, OutputPort, int]] = []
         self._rr_offset = 0
+        # Running count of input-buffered flits, maintained by
+        # InputPort.accept / advance so is_idle() is O(1).
+        self._buffered = 0
         self._forwarded = self.stats.counter(f"router{coord}.flits_forwarded")
         self._blocked = self.stats.counter(f"router{coord}.cycles_blocked")
 
@@ -149,6 +159,7 @@ class Router(ClockedComponent):
 
     def add_input_port(self, port: Port) -> InputPort:
         input_port = InputPort(self.num_vcs, self.vc_depth)
+        input_port.owner = self
         self.input_ports[port] = input_port
         return input_port
 
@@ -174,6 +185,10 @@ class Router(ClockedComponent):
             for vc in input_port.vcs
         )
 
+    def is_idle(self) -> bool:
+        """Idle iff no input VC holds a flit and no grant is pending."""
+        return self._buffered == 0 and not self._grants
+
     # -- routing ---------------------------------------------------------
 
     def _route(self, packet: "Packet") -> Port:
@@ -188,8 +203,10 @@ class Router(ClockedComponent):
         port_list = list(self.input_ports.items())
         if not port_list:
             return
-        # Rotate arbitration priority so no input port starves.
-        self._rr_offset = (self._rr_offset + 1) % len(port_list)
+        # Rotate arbitration priority so no input port starves.  Derived
+        # from the cycle number (not a tick count) so the rotation is
+        # identical whether or not idle cycles were skipped.
+        self._rr_offset = (cycle + 1) % len(port_list)
         ordered = port_list[self._rr_offset:] + port_list[: self._rr_offset]
         any_blocked = False
         for port_name, input_port in ordered:
@@ -233,6 +250,7 @@ class Router(ClockedComponent):
             input_port = self.input_ports[port_name]
             vc = input_port.vcs[vc_index]
             flit = vc.buffer.popleft()
+            self._buffered -= 1
             if flit.is_tail:
                 vc.route_port = None
                 vc.out_vc = None

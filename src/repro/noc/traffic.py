@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.sim.engine import ClockedComponent
 from repro.sim.rng import make_rng
 from repro.noc.network import Network
@@ -45,6 +47,20 @@ class TrafficGenerator(ClockedComponent):
         self.packets_sent = 0
         network.engine.register(self)
 
+    @property
+    def injection_rate(self) -> float:
+        return self._injection_rate
+
+    @injection_rate.setter
+    def injection_rate(self, rate: float) -> None:
+        self._injection_rate = rate
+        if rate > 0:
+            self.wake()
+
+    def is_idle(self) -> bool:
+        """Idle iff injection is switched off (rate 0 draws no randoms)."""
+        return self._injection_rate <= 0
+
     def pick_destination(self, src: Coord) -> Coord:
         raise NotImplementedError
 
@@ -52,18 +68,26 @@ class TrafficGenerator(ClockedComponent):
         pass
 
     def advance(self, cycle: int) -> None:
-        for src in self.sources:
-            if self.rng.random() < self.injection_rate:
-                dest = self.pick_destination(src)
-                if dest == src:
-                    continue
-                self.network.send(
-                    src,
-                    dest,
-                    size_flits=self.size_flits,
-                    message_class=MessageClass.SYNTHETIC,
-                )
-                self.packets_sent += 1
+        if self._injection_rate <= 0:
+            # Skip the Bernoulli draws entirely so the RNG stream is
+            # identical whether idle cycles are ticked or skipped.
+            return
+        # One vectorized draw per cycle: numpy's Generator produces the
+        # same variates for random(n) as for n scalar random() calls, so
+        # this consumes the identical stream at a fraction of the cost.
+        draws = self.rng.random(len(self.sources))
+        for index in np.flatnonzero(draws < self._injection_rate):
+            src = self.sources[index]
+            dest = self.pick_destination(src)
+            if dest == src:
+                continue
+            self.network.send(
+                src,
+                dest,
+                size_flits=self.size_flits,
+                message_class=MessageClass.SYNTHETIC,
+            )
+            self.packets_sent += 1
 
     def run(self, cycles: int) -> None:
         """Inject for ``cycles`` cycles, then drain the network."""

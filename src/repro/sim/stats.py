@@ -35,7 +35,8 @@ class Histogram:
     """Streaming histogram with exact mean/min/max and bucketed counts.
 
     Buckets are fixed-width; samples beyond the last bucket edge land in an
-    overflow bucket.  Mean and extrema are exact regardless of bucketing.
+    overflow bucket, samples below zero in an underflow bucket.  Mean and
+    extrema are exact regardless of bucketing.
     """
 
     def __init__(self, name: str, bucket_width: float = 1.0, num_buckets: int = 256):
@@ -46,12 +47,18 @@ class Histogram:
         self.name = name
         self.bucket_width = bucket_width
         self.buckets = [0] * num_buckets
+        self.underflow = 0
         self.overflow = 0
         self.count = 0
         self.total = 0.0
         self.total_sq = 0.0
         self.min_value = math.inf
         self.max_value = -math.inf
+
+    def _bucket_index(self, value: float) -> int:
+        # floor, not int(): truncation toward zero would file samples in
+        # (-bucket_width, 0) under bucket 0 instead of the underflow bucket.
+        return math.floor(value / self.bucket_width)
 
     def add(self, value: float) -> None:
         self.count += 1
@@ -61,11 +68,40 @@ class Histogram:
             self.min_value = value
         if value > self.max_value:
             self.max_value = value
-        index = int(value / self.bucket_width)
-        if 0 <= index < len(self.buckets):
+        index = self._bucket_index(value)
+        if index < 0:
+            self.underflow += 1
+        elif index < len(self.buckets):
             self.buckets[index] += 1
         else:
             self.overflow += 1
+
+    def add_many(self, value: float, count: int) -> None:
+        """Record ``count`` identical samples in one call.
+
+        Used by the activity-tracked kernel to replay skipped idle cycles
+        in bulk.  Bit-identical to ``count`` repeated :meth:`add` calls
+        whenever the float accumulators are order-insensitive for
+        ``value`` — exactly true for 0.0, the idle-replay sample.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        self.count += count
+        self.total += value * count
+        self.total_sq += value * value * count
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        index = self._bucket_index(value)
+        if index < 0:
+            self.underflow += count
+        elif index < len(self.buckets):
+            self.buckets[index] += count
+        else:
+            self.overflow += count
 
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
@@ -87,21 +123,32 @@ class Histogram:
         return math.sqrt(self.variance)
 
     def percentile(self, fraction: float) -> float:
-        """Approximate percentile from bucket boundaries (0 < fraction <= 1)."""
+        """Approximate percentile from bucket boundaries (0 < fraction <= 1).
+
+        Out-of-range samples participate: underflow samples sit below every
+        bucket (a percentile landing among them reports ``min_value``) and
+        overflow samples above every bucket (reporting ``max_value``), so a
+        mid-range percentile is never dragged to an extreme merely because
+        some samples fell outside the bucketed range.
+        """
         if not 0 < fraction <= 1:
             raise ValueError("fraction must be in (0, 1]")
         if self.count == 0:
             return 0.0
         target = fraction * self.count
-        running = 0
+        running = self.underflow
+        if running >= target:
+            return self.min_value
         for index, bucket_count in enumerate(self.buckets):
             running += bucket_count
             if running >= target:
                 return (index + 1) * self.bucket_width
+        # The percentile lies among the overflow samples.
         return self.max_value
 
     def reset(self) -> None:
         self.buckets = [0] * len(self.buckets)
+        self.underflow = 0
         self.overflow = 0
         self.count = 0
         self.total = 0.0
@@ -157,9 +204,20 @@ class StatsRegistry:
         return self._counters[name]
 
     def histogram(self, name: str, bucket_width: float = 1.0, num_buckets: int = 256) -> Histogram:
-        if name not in self._histograms:
-            self._histograms[name] = Histogram(name, bucket_width, num_buckets)
-        return self._histograms[name]
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Histogram(name, bucket_width, num_buckets)
+            self._histograms[name] = hist
+        elif hist.bucket_width != bucket_width or len(hist.buckets) != num_buckets:
+            # Silently returning the existing histogram would let two
+            # subsystems share one histogram with the wrong bucketing.
+            raise ValueError(
+                f"histogram {name!r} already exists with "
+                f"bucket_width={hist.bucket_width}, "
+                f"num_buckets={len(hist.buckets)}; requested "
+                f"bucket_width={bucket_width}, num_buckets={num_buckets}"
+            )
+        return hist
 
     def counters(self) -> Iterator[Counter]:
         return iter(self._counters.values())

@@ -153,3 +153,35 @@ class TestPillarBus:
         net.send(Coord(1, 1, 0), Coord(1, 1, 1), size_flits=4)
         net.quiesce()
         assert 0.0 < net.pillars[(1, 1)].utilization <= 1.0
+
+
+class TestArbiterRegistration:
+    def test_unknown_client_rejected(self):
+        # Regression: an unregistered client used to be silently starved
+        # (grant() returned None with active clients pending).
+        arbiter = DynamicTDMAArbiter(["a", "b"])
+        with pytest.raises(ValueError, match="unregistered client"):
+            arbiter.grant({"a", "ghost"})
+        with pytest.raises(ValueError, match="ghost"):
+            arbiter.grant({"ghost"})
+
+    def test_add_client_interleaved_with_grants(self):
+        arbiter = DynamicTDMAArbiter(["a", "b"])
+        assert arbiter.grant({"a", "b"}) == "a"
+        arbiter.add_client("c")
+        # The new client joins the circular order after "b".
+        grants = [arbiter.grant({"a", "b", "c"}) for __ in range(4)]
+        assert grants == ["b", "c", "a", "b"]
+        # Late joiner alone in the active set still gets the bus.
+        assert arbiter.grant({"c"}) == "c"
+
+    def test_bulk_idle_accounting_matches_grant_loop(self):
+        bulk = DynamicTDMAArbiter(["a"])
+        loop = DynamicTDMAArbiter(["a"])
+        bulk.account_idle(7)
+        for __ in range(7):
+            loop.grant(set())
+        assert bulk.utilization_samples == loop.utilization_samples
+        assert bulk.stats.snapshot() == loop.stats.snapshot()
+        with pytest.raises(ValueError):
+            bulk.account_idle(-1)

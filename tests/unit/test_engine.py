@@ -191,3 +191,178 @@ def test_event_scheduled_during_advance_fires_next_cycle():
     engine.register(Scheduler(engine))
     engine.run(3)
     assert fired == [1]
+
+
+# -- membership changes during a cycle (regression: list mutated mid-loop) --
+
+
+class Unregisterer(ClockedComponent):
+    """Unregisters a victim component (and optionally itself) mid-cycle."""
+
+    def __init__(self, engine, victims, phase="evaluate"):
+        self.engine = engine
+        self.victims = victims
+        self.phase = phase
+        self.done = False
+
+    def _fire(self):
+        if not self.done:
+            self.done = True
+            for victim in self.victims:
+                self.engine.unregister(victim)
+
+    def evaluate(self, cycle):
+        if self.phase == "evaluate":
+            self._fire()
+
+    def advance(self, cycle):
+        if self.phase == "advance":
+            self._fire()
+
+
+@pytest.mark.parametrize("tracking", [False, True])
+@pytest.mark.parametrize("phase", ["evaluate", "advance"])
+def test_unregister_other_during_step(tracking, phase):
+    engine = Engine(activity_tracking=tracking)
+    remover = Unregisterer(engine, [], phase=phase)
+    victims = [Recorder(), Recorder()]
+    engine.register(remover)
+    for victim in victims:
+        engine.register(victim)
+    remover.victims = victims
+    engine.run(3)
+    for victim in victims:
+        # Unregistered during evaluate: skipped even for this cycle's
+        # advance.  Unregistered during advance: evaluate already ran.
+        assert victim.advanced == []
+        assert victim.evaluated == ([0] if phase == "advance" else [])
+
+
+@pytest.mark.parametrize("tracking", [False, True])
+def test_unregister_self_during_step(tracking):
+    engine = Engine(activity_tracking=tracking)
+    remover = Unregisterer(engine, [], phase="advance")
+    remover.victims = [remover]
+    engine.register(remover)
+    survivor = Recorder()
+    engine.register(survivor)
+    engine.run(2)
+    # The self-removal must not disturb iteration over the remaining
+    # components of the same cycle.
+    assert survivor.evaluated == [0, 1]
+    assert survivor.advanced == [0, 1]
+
+
+def test_register_twice_rejected():
+    engine = Engine()
+    recorder = Recorder()
+    engine.register(recorder)
+    with pytest.raises(ValueError, match="already registered"):
+        engine.register(recorder)
+    with pytest.raises(ValueError, match="already registered"):
+        Engine("other").register(recorder)
+
+
+def test_register_during_step_ticks_next_cycle():
+    engine = Engine()
+    late = Recorder()
+
+    class Adder(ClockedComponent):
+        def __init__(self):
+            self.done = False
+
+        def advance(self, cycle):
+            if not self.done:
+                self.done = True
+                engine.register(late)
+
+    engine.register(Adder())
+    engine.run(3)
+    assert late.evaluated == [1, 2]
+
+
+# -- activity tracking ------------------------------------------------------
+
+
+class IdleAfterBudget(ClockedComponent):
+    """Reports idle once it has been ticked ``budget`` times."""
+
+    def __init__(self, budget=1):
+        self.budget = budget
+        self.evaluated = []
+
+    def evaluate(self, cycle):
+        self.evaluated.append(cycle)
+
+    def is_idle(self):
+        return len(self.evaluated) >= self.budget
+
+
+def test_idle_component_retired_and_rewoken():
+    engine = Engine(activity_tracking=True)
+    component = IdleAfterBudget(budget=2)
+    engine.register(component)
+    engine.run(5)
+    # Ticked on cycles 0 and 1, then retired; cycles 2-4 fast-forwarded.
+    assert component.evaluated == [0, 1]
+    assert engine.active_count == 0
+    component.budget = 3
+    component.wake()
+    engine.run(2)
+    assert component.evaluated == [0, 1, 5]
+
+
+def test_naive_kernel_ignores_is_idle():
+    engine = Engine(activity_tracking=False)
+    component = IdleAfterBudget(budget=1)
+    engine.register(component)
+    engine.run(4)
+    assert component.evaluated == [0, 1, 2, 3]
+    assert engine.fast_forwarded_cycles == 0
+
+
+def test_fast_forward_stops_at_next_event():
+    engine = Engine(activity_tracking=True)
+    fired = []
+    engine.schedule(100, lambda: fired.append(engine.cycle))
+    executed = engine.run(300)
+    # Nothing is active: the clock jumps straight to the event, steps
+    # through it, then jumps to the horizon.  Totals match the naive kernel.
+    assert executed == 300
+    assert engine.cycle == 300
+    assert fired == [100]
+    assert engine.fast_forwarded_cycles == 299
+
+
+def test_wake_requires_registration():
+    engine = Engine()
+    stray = Recorder()
+    with pytest.raises(ValueError, match="not registered"):
+        engine.wake(stray)
+    # The component-side helper is a safe no-op when unregistered.
+    stray.wake()
+
+
+def test_run_until_fast_forwards_to_event():
+    engine = Engine(activity_tracking=True)
+    done = []
+    engine.schedule(1000, lambda: done.append(True))
+    executed = engine.run_until(lambda: bool(done), max_cycles=5000)
+    assert done and executed == 1001
+    assert engine.fast_forwarded_cycles >= 999
+
+
+def test_flush_idle_stats_called_at_end_of_run():
+    flushed = []
+
+    class Flusher(ClockedComponent):
+        def is_idle(self):
+            return True
+
+        def flush_idle_stats(self, cycle):
+            flushed.append(cycle)
+
+    engine = Engine(activity_tracking=True)
+    engine.register(Flusher())
+    engine.run(50)
+    assert flushed == [50]

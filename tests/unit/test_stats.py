@@ -71,6 +71,55 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("x", num_buckets=0)
 
+    def test_negative_fraction_lands_in_underflow(self):
+        # Regression: int() truncation filed samples in (-width, 0) under
+        # bucket 0; floor-based indexing sends them to the underflow bucket.
+        hist = Histogram("lat", bucket_width=1.0, num_buckets=4)
+        hist.add(-0.5)
+        assert hist.underflow == 1
+        assert hist.buckets[0] == 0
+        assert hist.mean == -0.5
+
+    def test_underflow_bucket(self):
+        hist = Histogram("lat", bucket_width=1.0, num_buckets=4)
+        hist.extend([-3.0, -0.1, 0.5])
+        assert hist.underflow == 2
+        assert hist.buckets[0] == 1
+
+    def test_percentile_counts_overflow_samples(self):
+        # Regression: overflow samples were invisible to percentile(), so
+        # p50 of {0.5, 100, 101, 102} reported the first bucket edge.
+        hist = Histogram("lat", bucket_width=1.0, num_buckets=4)
+        hist.extend([0.5, 100.0, 101.0, 102.0])
+        assert hist.percentile(0.25) == 1.0  # first in-range bucket edge
+        assert hist.percentile(0.5) == 102.0  # among overflow -> max_value
+        assert hist.percentile(1.0) == 102.0
+
+    def test_percentile_counts_underflow_samples(self):
+        hist = Histogram("lat", bucket_width=1.0, num_buckets=4)
+        hist.extend([-5.0, -2.0, 1.5, 2.5])
+        assert hist.percentile(0.5) == -5.0  # among underflow -> min_value
+        assert hist.percentile(0.75) == 2.0
+        assert hist.percentile(1.0) == 3.0
+
+    def test_add_many_matches_repeated_add(self):
+        bulk = Histogram("a", bucket_width=2.0, num_buckets=8)
+        loop = Histogram("b", bucket_width=2.0, num_buckets=8)
+        bulk.add_many(0.0, 5)
+        bulk.add_many(3.0, 2)
+        for value in [0.0] * 5 + [3.0] * 2:
+            loop.add(value)
+        for attr in ("count", "total", "total_sq", "min_value",
+                     "max_value", "buckets", "underflow", "overflow"):
+            assert getattr(bulk, attr) == getattr(loop, attr)
+
+    def test_add_many_validation(self):
+        hist = Histogram("lat")
+        with pytest.raises(ValueError):
+            hist.add_many(1.0, -1)
+        hist.add_many(1.0, 0)  # zero is a no-op
+        assert hist.count == 0
+
 
 class TestMovingAverage:
     def test_first_sample_initializes(self):
@@ -112,3 +161,14 @@ class TestStatsRegistry:
         registry.reset()
         assert registry.counter("c").value == 0
         assert registry.histogram("h").count == 0
+
+    def test_histogram_bucketing_mismatch_rejected(self):
+        registry = StatsRegistry()
+        registry.histogram("h", bucket_width=2.0, num_buckets=16)
+        with pytest.raises(ValueError, match="already exists"):
+            registry.histogram("h", bucket_width=1.0, num_buckets=16)
+        with pytest.raises(ValueError, match="already exists"):
+            registry.histogram("h", bucket_width=2.0, num_buckets=32)
+        # Re-requesting with matching bucketing still shares the object.
+        assert registry.histogram("h", bucket_width=2.0, num_buckets=16) \
+            is registry.histogram("h", bucket_width=2.0, num_buckets=16)
