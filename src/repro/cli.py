@@ -4,6 +4,7 @@ Commands
 --------
 
 ``run``          simulate one scheme on one benchmark and print statistics
+``sweep``        run an arbitrary simulation grid, parallel and cached
 ``thermal``      solve a placement's thermal profile
 ``experiments``  run one (or all) of the table/figure reproductions
 ``describe``     print a chip configuration's placed topology
@@ -11,31 +12,30 @@ Commands
 Examples::
 
     python -m repro run --scheme CMP-DNUCA-3D --benchmark swim
-    python -m repro run --scheme CMP-DNUCA-2D --benchmark art --refs 20000
+    python -m repro run --scheme CMP-DNUCA-2D --benchmark art --json
+    python -m repro sweep --schemes CMP-DNUCA-2D CMP-DNUCA-3D \\
+        --benchmarks art swim --jobs 4
     python -m repro thermal --layers 2 --placement stacked
-    python -m repro experiments fig13
+    python -m repro experiments fig13 --jobs 4
     python -m repro describe --layers 4 --pillars 8
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
+import json
 import sys
 
 from repro.core.chip import ChipConfig
 from repro.core.placement import PlacementPolicy, build_topology
 from repro.core.schemes import Scheme
-from repro.core.system import NetworkInMemory, SystemConfig
 from repro.power.report import energy_report
 from repro.thermal import simulate_thermal
 from repro.workloads.benchmarks import BENCHMARK_NAMES
-from repro.workloads.generator import SyntheticWorkload
-
-_EXPERIMENTS = (
-    "table1", "table2", "table3", "table5",
-    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-)
+from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.orchestrator import run_sweep
+from repro.experiments.registry import EXPERIMENT_NAMES, run_experiment
+from repro.experiments.spec import SimSpec, simulate
 
 _PLACEMENTS = {policy.value: policy for policy in PlacementPolicy}
 
@@ -47,6 +47,30 @@ def _scheme(name: str) -> Scheme:
     raise argparse.ArgumentTypeError(
         f"unknown scheme {name!r}; choose from "
         f"{[s.value for s in Scheme]}"
+    )
+
+
+def _add_orchestrator_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every command that drives the sweep orchestrator."""
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = run in-process)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default .repro_cache/ or REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock timeout in seconds (parallel runs only)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="re-executions after a worker crash or timeout",
     )
 
 
@@ -72,6 +96,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=2006)
     run.add_argument("--energy", action="store_true",
                      help="print the energy breakdown too")
+    run.add_argument("--json", action="store_true",
+                     help="emit the spec and statistics as JSON")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (scheme x benchmark x topology) grid, parallel + cached",
+    )
+    sweep.add_argument(
+        "--schemes", type=_scheme, nargs="+",
+        default=list(Scheme),
+        help="schemes to sweep (default: all four)",
+    )
+    sweep.add_argument(
+        "--benchmarks", nargs="+", choices=BENCHMARK_NAMES,
+        default=list(BENCHMARK_NAMES),
+        help="benchmarks to sweep (default: the full suite)",
+    )
+    sweep.add_argument("--cache-mb", type=int, nargs="+", default=[16])
+    sweep.add_argument("--layers", type=int, nargs="+", default=[2])
+    sweep.add_argument("--pillars", type=int, nargs="+", default=[8])
+    sweep.add_argument(
+        "--refs", type=int, default=None,
+        help="references per CPU (default: the ambient REPRO_SCALE)",
+    )
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="workload base seed (default: the scale's)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit the full sweep summary as JSON")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-cell progress lines")
+    _add_orchestrator_args(sweep)
 
     thermal = sub.add_parser("thermal", help="thermal profile of a placement")
     thermal.add_argument("--layers", type=int, default=2)
@@ -86,8 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument(
         "name", nargs="?", default="all",
-        choices=(*_EXPERIMENTS, "all"),
+        choices=(*EXPERIMENT_NAMES, "all"),
     )
+    _add_orchestrator_args(experiments)
 
     describe = sub.add_parser("describe", help="print a placed topology")
     describe.add_argument("--layers", type=int, default=2)
@@ -97,18 +153,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = SystemConfig(
-        scheme=args.scheme,
+    scale = ExperimentScale(
+        name="cli",
+        refs_per_cpu=args.refs,
+        warmup_fraction=args.warmup,
+        seed=args.seed,
+    )
+    spec = SimSpec.make(
+        args.scheme,
+        args.benchmark,
+        scale=scale,
+        layers=args.layers,
+        pillars=args.pillars,
         cache_mb=args.cache_mb,
-        num_layers=args.layers,
-        num_pillars=args.pillars,
     )
-    system = NetworkInMemory(config)
-    workload = SyntheticWorkload(
-        args.benchmark, refs_per_cpu=args.refs, seed=args.seed
-    )
-    warmup = int(8 * args.refs * args.warmup)
-    stats = system.run_trace(workload.traces(), warmup_events=warmup)
+    system, stats = simulate(spec)
+    if args.json:
+        print(json.dumps(
+            {"spec": spec.to_dict(), "stats": stats.to_dict()}, indent=1
+        ))
+        return 0
     print(f"scheme:            {args.scheme.value}")
     print(f"benchmark:         {args.benchmark}")
     print(f"L2 accesses:       {stats.l2_accesses:,}")
@@ -122,6 +186,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         print(energy_report(system, stats))
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scale = current_scale()
+    if args.refs is not None:
+        scale = ExperimentScale(
+            name=f"cli-{args.refs}", refs_per_cpu=args.refs,
+            warmup_fraction=scale.warmup_fraction, seed=scale.seed,
+        )
+    overrides = {} if args.seed is None else {"seed": args.seed}
+    specs = [
+        SimSpec.make(
+            scheme, benchmark, scale=scale,
+            cache_mb=cache_mb, layers=layers, pillars=pillars,
+            **overrides,
+        )
+        for scheme in args.schemes
+        for benchmark in args.benchmarks
+        for cache_mb in args.cache_mb
+        for layers in args.layers
+        for pillars in args.pillars
+    ]
+    progress = None
+    if not args.quiet and not args.json:
+        def progress(message: str) -> None:
+            print(f"  {message}", file=sys.stderr)
+    summary = run_sweep(
+        specs,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=1))
+        return 1 if summary.failures else 0
+
+    from repro.experiments.runner import format_table
+
+    rows = [
+        [
+            spec.scheme.value,
+            spec.benchmark,
+            f"{spec.cache_mb}",
+            f"{spec.layers}",
+            f"{spec.pillars}",
+            f"{stats.avg_l2_hit_latency:.1f}",
+            f"{stats.l2_hit_rate:.1%}",
+            f"{stats.ipc:.3f}",
+            f"{stats.migrations}",
+        ]
+        for spec, stats in summary.results.items()
+    ]
+    print(
+        format_table(
+            ["scheme", "benchmark", "MB", "layers", "pillars",
+             "hit lat", "hit rate", "IPC", "migr"],
+            rows,
+            title="Sweep results",
+        )
+    )
+    for failure in summary.failures:
+        print(
+            f"FAILED {failure.spec.label()}: {failure.kind} "
+            f"after {failure.attempts} attempt(s): {failure.message}"
+        )
+    print(summary.describe())
+    return 1 if summary.failures else 0
 
 
 def _cmd_thermal(args: argparse.Namespace) -> int:
@@ -143,10 +277,19 @@ def _cmd_thermal(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    names = _EXPERIMENTS if args.name == "all" else (args.name,)
+    names = EXPERIMENT_NAMES if args.name == "all" else (args.name,)
     for name in names:
-        module = importlib.import_module(f"repro.experiments.{name}")
-        module.main()
+        text, summary = run_experiment(
+            name,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            timeout_s=args.timeout,
+            retries=args.retries,
+        )
+        print(text)
+        if summary.total:
+            print(f"[{name}: {summary.describe()}]")
         print()
     return 0
 
@@ -170,6 +313,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "thermal": _cmd_thermal,
         "experiments": _cmd_experiments,
         "describe": _cmd_describe,

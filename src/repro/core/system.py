@@ -331,6 +331,37 @@ class RunStats:
         total = self.l2_accesses
         return self.l2_hits / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-safe form; exact inverse of :meth:`from_dict`.
+
+        Floats survive the round trip bit-identically (``json`` emits the
+        shortest repr that parses back to the same double), which is what
+        lets the experiment cache and the parallel orchestrator return
+        results indistinguishable from an in-process run.
+        """
+        return {
+            "scheme": self.scheme.value,
+            "avg_l2_hit_latency": self.avg_l2_hit_latency,
+            "avg_l2_miss_latency": self.avg_l2_miss_latency,
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+            "migrations": self.migrations,
+            "ipc": self.ipc,
+            "per_cpu_ipc": list(self.per_cpu_ipc),
+            "l1_miss_rate": self.l1_miss_rate,
+            "flit_hops": self.flit_hops,
+            "bus_flits": self.bus_flits,
+            "invalidations": self.invalidations,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunStats":
+        fields = dict(data)
+        fields["scheme"] = Scheme(fields["scheme"])
+        return cls(**fields)
+
 
 class _ModelPricer:
     """Prices transactions with the analytic latency model."""

@@ -17,9 +17,36 @@ Run them all from the command line::
 
 Scale knobs live in :mod:`repro.experiments.config`; the ``REPRO_SCALE``
 environment variable selects ``quick`` (default) or ``full``.
+
+Each module exposes the uniform experiment interface — ``cells()``
+returning the grid of :class:`~repro.experiments.spec.SimSpec` cells and
+``render(results)`` producing the paper-style text — which the
+orchestrator (:mod:`repro.experiments.orchestrator`), the CLI's
+``experiments``/``sweep`` commands, and the registry driver
+(:mod:`repro.experiments.registry`) all execute through one code path,
+with process parallelism and an on-disk result cache.
 """
 
 from repro.experiments.config import ExperimentScale, current_scale
+from repro.experiments.orchestrator import (
+    ResultCache,
+    SweepSummary,
+    run_sweep,
+)
+from repro.experiments.registry import EXPERIMENT_NAMES, run_experiment
 from repro.experiments.runner import run_scheme, SCHEME_ORDER
+from repro.experiments.spec import SimSpec, run_spec
 
-__all__ = ["ExperimentScale", "current_scale", "run_scheme", "SCHEME_ORDER"]
+__all__ = [
+    "ExperimentScale",
+    "current_scale",
+    "run_scheme",
+    "run_spec",
+    "run_sweep",
+    "run_experiment",
+    "ResultCache",
+    "SweepSummary",
+    "SimSpec",
+    "SCHEME_ORDER",
+    "EXPERIMENT_NAMES",
+]

@@ -27,10 +27,39 @@ class ExperimentScale:
     warmup_fraction: float = 0.6   # of total events, across all CPUs
     seed: int = 2006
 
+    def warmup_events_for(self, num_cpus: int) -> int:
+        """Warm-up event count for a topology with ``num_cpus`` CPUs.
+
+        Warm-up counts total events across all CPUs, so it must scale
+        with the actual CPU count of the simulated system.
+        """
+        return int(num_cpus * self.refs_per_cpu * self.warmup_fraction)
+
     @property
     def warmup_events(self) -> int:
-        # warmup counts total events across the 8 CPUs
-        return int(8 * self.refs_per_cpu * self.warmup_fraction)
+        """Deprecated: assumes the default 8-CPU topology.
+
+        Use :meth:`warmup_events_for` with the system's real CPU count.
+        """
+        return self.warmup_events_for(8)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "refs_per_cpu": self.refs_per_cpu,
+            "warmup_fraction": self.warmup_fraction,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentScale":
+        return cls(
+            name=data["name"],
+            refs_per_cpu=data["refs_per_cpu"],
+            warmup_fraction=data["warmup_fraction"],
+            seed=data["seed"],
+        )
 
 
 QUICK = ExperimentScale(name="quick", refs_per_cpu=30_000)

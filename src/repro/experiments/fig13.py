@@ -7,26 +7,38 @@ migration; CMP-DNUCA-3D saves a further ~7 cycles (~17 total).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.core.schemes import Scheme
+from repro.core.system import RunStats
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 from repro.experiments.config import ExperimentScale
-from repro.experiments.runner import run_scheme, format_table, SCHEME_ORDER
+from repro.experiments.runner import format_table, SCHEME_ORDER
+from repro.experiments.spec import SimSpec
 
 
-def run(
+def cells(
     benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
     scale: Optional[ExperimentScale] = None,
+) -> list[SimSpec]:
+    """The scheme x benchmark grid at the default topology."""
+    return [
+        SimSpec.make(scheme, benchmark, scale=scale)
+        for benchmark in benchmarks
+        for scheme in SCHEME_ORDER
+    ]
+
+
+def tabulate(
+    results: Mapping[SimSpec, RunStats]
 ) -> dict[str, dict[Scheme, float]]:
     """Average L2 hit latency per benchmark per scheme (cycles)."""
-    results: dict[str, dict[Scheme, float]] = {}
-    for benchmark in benchmarks:
-        results[benchmark] = {}
-        for scheme in SCHEME_ORDER:
-            stats = run_scheme(scheme, benchmark, scale=scale)
-            results[benchmark][scheme] = stats.avg_l2_hit_latency
-    return results
+    table: dict[str, dict[Scheme, float]] = {}
+    for spec, stats in results.items():
+        table.setdefault(spec.benchmark, {})[spec.scheme] = (
+            stats.avg_l2_hit_latency
+        )
+    return table
 
 
 def averages(results: dict[str, dict[Scheme, float]]) -> dict[Scheme, float]:
@@ -37,22 +49,37 @@ def averages(results: dict[str, dict[Scheme, float]]) -> dict[Scheme, float]:
     }
 
 
-def main() -> dict[str, dict[Scheme, float]]:
-    results = run()
+def render(results: Mapping[SimSpec, RunStats]) -> str:
+    table = tabulate(results)
     rows = [
-        [bench] + [f"{results[bench][s]:.1f}" for s in SCHEME_ORDER]
-        for bench in results
+        [bench] + [f"{table[bench][s]:.1f}" for s in SCHEME_ORDER]
+        for bench in table
     ]
-    mean = averages(results)
+    mean = averages(table)
     rows.append(["AVERAGE"] + [f"{mean[s]:.1f}" for s in SCHEME_ORDER])
-    print(
-        format_table(
-            ["benchmark"] + [s.value for s in SCHEME_ORDER],
-            rows,
-            title="Figure 13: average L2 hit latency (cycles)",
-        )
+    return format_table(
+        ["benchmark"] + [s.value for s in SCHEME_ORDER],
+        rows,
+        title="Figure 13: average L2 hit latency (cycles)",
     )
-    return results
+
+
+def run(
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[str, dict[Scheme, float]]:
+    """Compatibility wrapper: simulate the grid and tabulate it."""
+    from repro.experiments.orchestrator import results_by_spec, run_sweep
+
+    specs = cells(benchmarks, scale=scale)
+    summary = run_sweep(specs)
+    return tabulate(results_by_spec(summary, specs))
+
+
+def main() -> None:
+    from repro.experiments.registry import main_for
+
+    main_for("fig13")
 
 
 if __name__ == "__main__":

@@ -7,26 +7,36 @@ L2-intensive benchmarks mgrid, swim and wupwise.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.core.schemes import Scheme
+from repro.core.system import RunStats
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 from repro.experiments.config import ExperimentScale
-from repro.experiments.runner import run_scheme, format_table, SCHEME_ORDER
+from repro.experiments.runner import format_table, SCHEME_ORDER
+from repro.experiments.spec import SimSpec
 
 
-def run(
+def cells(
     benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
     scale: Optional[ExperimentScale] = None,
+) -> list[SimSpec]:
+    """Same default-topology grid as Fig 13 (shared via the cache)."""
+    return [
+        SimSpec.make(scheme, benchmark, scale=scale)
+        for benchmark in benchmarks
+        for scheme in SCHEME_ORDER
+    ]
+
+
+def tabulate(
+    results: Mapping[SimSpec, RunStats]
 ) -> dict[str, dict[Scheme, float]]:
     """Aggregate IPC per benchmark per scheme."""
-    results: dict[str, dict[Scheme, float]] = {}
-    for benchmark in benchmarks:
-        results[benchmark] = {}
-        for scheme in SCHEME_ORDER:
-            stats = run_scheme(scheme, benchmark, scale=scale)
-            results[benchmark][scheme] = stats.ipc
-    return results
+    table: dict[str, dict[Scheme, float]] = {}
+    for spec, stats in results.items():
+        table.setdefault(spec.benchmark, {})[spec.scheme] = stats.ipc
+    return table
 
 
 def improvements(
@@ -43,29 +53,44 @@ def improvements(
     return out
 
 
-def main() -> dict[str, dict[Scheme, float]]:
-    results = run()
-    gains = improvements(results)
+def render(results: Mapping[SimSpec, RunStats]) -> str:
+    table = tabulate(results)
+    gains = improvements(table)
     rows = []
-    for bench in results:
+    for bench in table:
         rows.append(
             [bench]
-            + [f"{results[bench][s]:.3f}" for s in SCHEME_ORDER]
+            + [f"{table[bench][s]:.3f}" for s in SCHEME_ORDER]
             + [
                 f"{gains[bench][Scheme.CMP_SNUCA_3D]:+.1f}%",
                 f"{gains[bench][Scheme.CMP_DNUCA_3D]:+.1f}%",
             ]
         )
-    print(
-        format_table(
-            ["benchmark"]
-            + [s.value for s in SCHEME_ORDER]
-            + ["SNUCA-3D gain", "DNUCA-3D gain"],
-            rows,
-            title="Figure 15: IPC (gains relative to CMP-DNUCA-2D)",
-        )
+    return format_table(
+        ["benchmark"]
+        + [s.value for s in SCHEME_ORDER]
+        + ["SNUCA-3D gain", "DNUCA-3D gain"],
+        rows,
+        title="Figure 15: IPC (gains relative to CMP-DNUCA-2D)",
     )
-    return results
+
+
+def run(
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[str, dict[Scheme, float]]:
+    """Compatibility wrapper: simulate the grid and tabulate it."""
+    from repro.experiments.orchestrator import results_by_spec, run_sweep
+
+    specs = cells(benchmarks, scale=scale)
+    summary = run_sweep(specs)
+    return tabulate(results_by_spec(summary, specs))
+
+
+def main() -> None:
+    from repro.experiments.registry import main_for
+
+    main_for("fig15")
 
 
 if __name__ == "__main__":

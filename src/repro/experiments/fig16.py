@@ -8,11 +8,13 @@ doubling vs ~7 in 2D) — 3D scales better to large caches.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.core.schemes import Scheme
+from repro.core.system import RunStats
 from repro.experiments.config import ExperimentScale
-from repro.experiments.runner import run_scheme, format_table
+from repro.experiments.runner import format_table
+from repro.experiments.spec import SimSpec
 
 # The paper's four representative benchmarks: art and galgel (low L1 miss
 # rates), mgrid and swim (high).
@@ -21,24 +23,30 @@ CACHE_SIZES_MB = (16, 32, 64)
 SCHEMES = (Scheme.CMP_DNUCA_2D, Scheme.CMP_DNUCA_3D)
 
 
-def run(
+def cells(
     benchmarks: tuple[str, ...] = BENCHMARKS,
     cache_sizes_mb: tuple[int, ...] = CACHE_SIZES_MB,
     scale: Optional[ExperimentScale] = None,
+) -> list[SimSpec]:
+    """Scheme x cache-size grid (the 16 MB cells coincide with Fig 13's)."""
+    return [
+        SimSpec.make(scheme, benchmark, scale=scale, cache_mb=cache_mb)
+        for benchmark in benchmarks
+        for scheme in SCHEMES
+        for cache_mb in cache_sizes_mb
+    ]
+
+
+def tabulate(
+    results: Mapping[SimSpec, RunStats]
 ) -> dict[str, dict[tuple[Scheme, int], float]]:
     """hit latency[benchmark][(scheme, cache MB)]."""
-    results: dict[str, dict[tuple[Scheme, int], float]] = {}
-    for benchmark in benchmarks:
-        results[benchmark] = {}
-        for scheme in SCHEMES:
-            for cache_mb in cache_sizes_mb:
-                stats = run_scheme(
-                    scheme, benchmark, cache_mb=cache_mb, scale=scale
-                )
-                results[benchmark][(scheme, cache_mb)] = (
-                    stats.avg_l2_hit_latency
-                )
-    return results
+    table: dict[str, dict[tuple[Scheme, int], float]] = {}
+    for spec, stats in results.items():
+        table.setdefault(spec.benchmark, {})[
+            (spec.scheme, spec.cache_mb)
+        ] = stats.avg_l2_hit_latency
+    return table
 
 
 def growth_per_doubling(
@@ -53,32 +61,51 @@ def growth_per_doubling(
     return sum(deltas) / len(deltas) if deltas else 0.0
 
 
-def main() -> dict[str, dict[tuple[Scheme, int], float]]:
-    results = run()
+def render(results: Mapping[SimSpec, RunStats]) -> str:
+    table = tabulate(results)
     headers = ["benchmark"] + [
         f"{s.value}@{mb}MB" for s in SCHEMES for mb in CACHE_SIZES_MB
     ]
     rows = [
         [bench]
         + [
-            f"{results[bench][(s, mb)]:.1f}"
+            f"{table[bench][(s, mb)]:.1f}"
             for s in SCHEMES
             for mb in CACHE_SIZES_MB
         ]
-        for bench in results
+        for bench in table
     ]
-    print(
+    lines = [
         format_table(
             headers, rows,
             title="Figure 16: average L2 hit latency vs cache size (cycles)",
         )
-    )
+    ]
     for scheme in SCHEMES:
-        print(
+        lines.append(
             f"mean growth per doubling, {scheme.value}: "
-            f"{growth_per_doubling(results, scheme):.1f} cycles"
+            f"{growth_per_doubling(table, scheme):.1f} cycles"
         )
-    return results
+    return "\n".join(lines)
+
+
+def run(
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+    cache_sizes_mb: tuple[int, ...] = CACHE_SIZES_MB,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[str, dict[tuple[Scheme, int], float]]:
+    """Compatibility wrapper: simulate the grid and tabulate it."""
+    from repro.experiments.orchestrator import results_by_spec, run_sweep
+
+    specs = cells(benchmarks, cache_sizes_mb, scale=scale)
+    summary = run_sweep(specs)
+    return tabulate(results_by_spec(summary, specs))
+
+
+def main() -> None:
+    from repro.experiments.registry import main_for
+
+    main_for("fig16")
 
 
 if __name__ == "__main__":

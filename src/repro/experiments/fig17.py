@@ -4,28 +4,67 @@ Fewer pillars means more contention for the vertical buses and longer
 in-plane detours to reach one.  The floorplan (CPU positions) is held
 fixed at the 8-pillar reference placement while the via budget varies —
 the experiment isolates the interconnect effect, exactly the knob the
-inter-layer via pitch controls.  Shape target: moving from 8 pillars to
-2 costs 1-7 cycles of average L2 latency.
+inter-layer via pitch controls (``SimSpec.fixed_floorplan``).  Shape
+target: moving from 8 pillars to 2 costs 1-7 cycles of average L2
+latency.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
-from repro.core.schemes import Scheme, make_chip_config
-from repro.core.system import SystemConfig
-from repro.core.placement import build_topology
+from repro.core.schemes import Scheme
+from repro.core.system import RunStats
 from repro.experiments.config import ExperimentScale
-from repro.experiments.runner import run_scheme, format_table
+from repro.experiments.runner import format_table
+from repro.experiments.spec import SimSpec
 
 BENCHMARKS = ("art", "galgel", "mgrid", "swim")
 PILLAR_COUNTS = (8, 4, 2)
 
 
-def _reference_positions():
-    """CPU coordinates of the default 8-pillar placement."""
-    setup = make_chip_config(Scheme.CMP_DNUCA_3D, num_pillars=8)
-    return dict(build_topology(setup.chip, setup.placement).cpu_positions)
+def cells(
+    benchmarks: tuple[str, ...] = BENCHMARKS,
+    pillar_counts: tuple[int, ...] = PILLAR_COUNTS,
+    scale: Optional[ExperimentScale] = None,
+) -> list[SimSpec]:
+    """Pillar sweep for CMP-DNUCA-3D on the pinned reference floorplan."""
+    return [
+        SimSpec.make(
+            Scheme.CMP_DNUCA_3D, benchmark, scale=scale,
+            pillars=pillars, fixed_floorplan=True,
+        )
+        for benchmark in benchmarks
+        for pillars in pillar_counts
+    ]
+
+
+def tabulate(
+    results: Mapping[SimSpec, RunStats]
+) -> dict[str, dict[int, float]]:
+    """hit latency[benchmark][pillar count] for CMP-DNUCA-3D."""
+    table: dict[str, dict[int, float]] = {}
+    for spec, stats in results.items():
+        table.setdefault(spec.benchmark, {})[spec.pillars] = (
+            stats.avg_l2_hit_latency
+        )
+    return table
+
+
+def render(results: Mapping[SimSpec, RunStats]) -> str:
+    table = tabulate(results)
+    rows = [
+        [bench] + [f"{table[bench][p]:.1f}" for p in PILLAR_COUNTS]
+        for bench in table
+    ]
+    return format_table(
+        ["benchmark"] + [f"{p} pillars" for p in PILLAR_COUNTS],
+        rows,
+        title=(
+            "Figure 17: average L2 hit latency vs pillar count, "
+            "CMP-DNUCA-3D (cycles)"
+        ),
+    )
 
 
 def run(
@@ -33,42 +72,18 @@ def run(
     pillar_counts: tuple[int, ...] = PILLAR_COUNTS,
     scale: Optional[ExperimentScale] = None,
 ) -> dict[str, dict[int, float]]:
-    """hit latency[benchmark][pillar count] for CMP-DNUCA-3D."""
-    reference = _reference_positions()
-    results: dict[str, dict[int, float]] = {}
-    for benchmark in benchmarks:
-        results[benchmark] = {}
-        for pillars in pillar_counts:
-            config = SystemConfig(
-                scheme=Scheme.CMP_DNUCA_3D,
-                num_pillars=pillars,
-                cpu_positions_override=reference,
-            )
-            stats = run_scheme(
-                Scheme.CMP_DNUCA_3D, benchmark,
-                num_pillars=pillars, scale=scale, system_config=config,
-            )
-            results[benchmark][pillars] = stats.avg_l2_hit_latency
-    return results
+    """Compatibility wrapper: simulate the grid and tabulate it."""
+    from repro.experiments.orchestrator import results_by_spec, run_sweep
+
+    specs = cells(benchmarks, pillar_counts, scale=scale)
+    summary = run_sweep(specs)
+    return tabulate(results_by_spec(summary, specs))
 
 
-def main() -> dict[str, dict[int, float]]:
-    results = run()
-    rows = [
-        [bench] + [f"{results[bench][p]:.1f}" for p in PILLAR_COUNTS]
-        for bench in results
-    ]
-    print(
-        format_table(
-            ["benchmark"] + [f"{p} pillars" for p in PILLAR_COUNTS],
-            rows,
-            title=(
-                "Figure 17: average L2 hit latency vs pillar count, "
-                "CMP-DNUCA-3D (cycles)"
-            ),
-        )
-    )
-    return results
+def main() -> None:
+    from repro.experiments.registry import main_for
+
+    main_for("fig17")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,374 @@
+"""Parallel, cache-backed sweep runner for experiment grids.
+
+The paper's evaluation is embarrassingly parallel: every figure/table is
+a grid of independent :class:`~repro.experiments.spec.SimSpec` cells.
+:func:`run_sweep` executes such a grid with
+
+* **process parallelism** — cells fan out across ``jobs`` worker
+  processes; because each cell's RNG seed is a pure function of its spec
+  (:meth:`SimSpec.cell_seed`), parallel results are bit-identical to a
+  serial run regardless of scheduling,
+* **an on-disk result cache** — artifacts live under ``.repro_cache/``
+  keyed by the spec's content hash; a hit skips the simulation entirely,
+  so overlapping grids (Figs 13/14/15 and Table 5 share most cells) pay
+  for each cell once,
+* **robustness plumbing** — a per-cell wall-clock timeout, bounded retry
+  on worker crash, and a structured :class:`CellFailure` record instead
+  of aborting the whole sweep.
+
+The sweep returns a :class:`SweepSummary` whose counters (``simulated``,
+``cached``, ``failed``) make cache behaviour auditable: a warm-cache
+rerun reports ``simulated == 0``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.core.system import RunStats
+from repro.experiments.spec import SimSpec, run_spec
+
+#: Bump when the artifact layout changes; mismatched artifacts are misses.
+CACHE_VERSION = 1
+
+#: Default cache root (override with ``REPRO_CACHE_DIR`` or ``cache_dir=``).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """Content-addressed store of finished cell results.
+
+    One JSON artifact per spec hash, sharded by the first two hex digits
+    (``.repro_cache/ab/ab12...json``).  Artifacts embed the full spec so
+    a hit can be validated against the requesting spec; any mismatch,
+    parse error, or version skew is treated as a miss and the artifact is
+    rewritten after re-simulation (self-healing on corruption).
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or default_cache_dir()
+
+    def _path(self, spec_hash: str) -> str:
+        return os.path.join(self.root, spec_hash[:2], f"{spec_hash}.json")
+
+    def get(self, spec: SimSpec) -> Optional[RunStats]:
+        """The cached result for ``spec``, or None on any kind of miss."""
+        path = self._path(spec.spec_hash())
+        try:
+            with open(path, encoding="utf-8") as handle:
+                artifact = json.load(handle)
+            if artifact.get("cache_version") != CACHE_VERSION:
+                return None
+            if artifact.get("spec") != spec.to_dict():
+                return None
+            return RunStats.from_dict(artifact["stats"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, spec: SimSpec, stats: RunStats) -> None:
+        """Atomically persist a result (tmp file + rename)."""
+        path = self._path(spec.spec_hash())
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        artifact = {
+            "cache_version": CACHE_VERSION,
+            "spec": spec.to_dict(),
+            "stats": stats.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(artifact, handle, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured record of one cell that could not produce a result."""
+
+    spec: SimSpec
+    kind: str              # "error" | "timeout" | "crash"
+    message: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class SweepSummary:
+    """Results and accounting for one sweep invocation."""
+
+    results: dict[SimSpec, RunStats] = field(default_factory=dict)
+    failures: list[CellFailure] = field(default_factory=list)
+    simulated: int = 0     # cells that actually ran a simulation
+    cached: int = 0        # cells satisfied from the on-disk cache
+    elapsed_s: float = 0.0
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def total(self) -> int:
+        return len(self.results) + self.failed
+
+    def describe(self) -> str:
+        return (
+            f"{self.total} cells: {self.simulated} simulated, "
+            f"{self.cached} cached, {self.failed} failed "
+            f"({self.elapsed_s:.1f}s)"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "cells": [
+                {"spec": spec.to_dict(), "stats": stats.to_dict()}
+                for spec, stats in self.results.items()
+            ],
+            "failures": [failure.to_dict() for failure in self.failures],
+            "simulated": self.simulated,
+            "cached": self.cached,
+            "failed": self.failed,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def _cell_entry(spec_dict: dict, conn) -> None:
+    """Worker-process entry: simulate one cell, ship the result back."""
+    try:
+        spec = SimSpec.from_dict(spec_dict)
+        stats = run_spec(spec)
+        conn.send(("ok", stats.to_dict()))
+    except BaseException as exc:  # report, don't die silently
+        conn.send(("error", f"{type(exc).__name__}: {exc}",
+                   traceback.format_exc(limit=8)))
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Slot:
+    """One in-flight worker process."""
+
+    index: int
+    process: multiprocessing.Process
+    conn: object
+    deadline: Optional[float]
+
+
+def run_sweep(
+    specs: Sequence[SimSpec],
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    runner: Optional[Callable[[SimSpec], RunStats]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepSummary:
+    """Run every cell of a grid, in parallel, through the result cache.
+
+    ``jobs <= 1`` runs cells inline in this process (the determinism
+    reference; ``timeout_s`` does not apply).  ``jobs > 1`` fans cells
+    out across worker processes with per-cell timeout and up to
+    ``retries`` re-executions after a crash or timeout.  Duplicate specs
+    are simulated once.  ``runner`` overrides the cell function for the
+    inline path (tests inject failing runners); parallel workers always
+    execute :func:`run_spec`.
+    """
+    summary = SweepSummary()
+    started = time.monotonic()
+    cache = ResultCache(cache_dir) if use_cache else None
+
+    def _silent(message: str) -> None:
+        pass
+
+    say = progress or _silent
+
+    # Resolve cache hits up front; deduplicate the remainder.
+    pending: list[SimSpec] = []
+    seen: set[SimSpec] = set()
+    for spec in specs:
+        if spec in seen or spec in summary.results:
+            continue
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            summary.results[spec] = hit
+            summary.cached += 1
+        else:
+            pending.append(spec)
+            seen.add(spec)
+    if summary.cached:
+        say(f"cache: {summary.cached} hit(s), {len(pending)} to simulate")
+
+    def finish(spec: SimSpec, stats: RunStats) -> None:
+        summary.results[spec] = stats
+        summary.simulated += 1
+        if cache is not None:
+            cache.put(spec, stats)
+        say(f"done {spec.label()} ({len(summary.results)} ready)")
+
+    if jobs <= 1 or len(pending) <= 1:
+        cell = runner or run_spec
+        for spec in pending:
+            try:
+                finish(spec, cell(spec))
+            except Exception as exc:
+                summary.failures.append(
+                    CellFailure(spec, "error",
+                                f"{type(exc).__name__}: {exc}", attempts=1)
+                )
+                say(f"FAILED {spec.label()}: {exc}")
+        summary.elapsed_s = time.monotonic() - started
+        return summary
+
+    _run_parallel(pending, jobs, timeout_s, retries, finish, summary, say)
+    summary.elapsed_s = time.monotonic() - started
+    return summary
+
+
+def _run_parallel(
+    pending: Sequence[SimSpec],
+    jobs: int,
+    timeout_s: Optional[float],
+    retries: int,
+    finish: Callable[[SimSpec, RunStats], None],
+    summary: SweepSummary,
+    say: Callable[[str], None],
+) -> None:
+    """Fan ``pending`` out over worker processes with timeout + retry."""
+    ctx = multiprocessing.get_context()
+    queue: list[tuple[int, int]] = [(i, 1) for i in range(len(pending))]
+    slots: dict[int, _Slot] = {}
+    attempts: dict[int, int] = {}
+
+    def launch(index: int, attempt: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_cell_entry,
+            args=(pending[index].to_dict(), child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        attempts[index] = attempt
+        slots[index] = _Slot(
+            index=index,
+            process=process,
+            conn=parent_conn,
+            deadline=(
+                time.monotonic() + timeout_s if timeout_s is not None else None
+            ),
+        )
+
+    def reap(slot: _Slot) -> None:
+        slot.conn.close()
+        slot.process.join()
+        del slots[slot.index]
+
+    def retry_or_fail(slot: _Slot, kind: str, message: str) -> None:
+        spec = pending[slot.index]
+        attempt = attempts[slot.index]
+        if attempt <= retries:
+            say(f"retrying {spec.label()} after {kind} "
+                f"(attempt {attempt + 1})")
+            queue.append((slot.index, attempt + 1))
+        else:
+            summary.failures.append(
+                CellFailure(spec, kind, message, attempts=attempt)
+            )
+            say(f"FAILED {spec.label()}: {kind}: {message}")
+
+    try:
+        while queue or slots:
+            while queue and len(slots) < jobs:
+                index, attempt = queue.pop(0)
+                launch(index, attempt)
+
+            ready = connection_wait(
+                [slot.conn for slot in slots.values()], timeout=0.05
+            )
+            for slot in [s for s in slots.values() if s.conn in ready]:
+                try:
+                    payload = slot.conn.recv()
+                except (EOFError, OSError):
+                    # The worker died before sending anything.
+                    reap(slot)
+                    code = slot.process.exitcode
+                    retry_or_fail(
+                        slot, "crash", f"worker exited with code {code}"
+                    )
+                    continue
+                reap(slot)
+                if payload[0] == "ok":
+                    finish(pending[slot.index],
+                           RunStats.from_dict(payload[1]))
+                else:
+                    __, message, trace = payload
+                    spec = pending[slot.index]
+                    summary.failures.append(
+                        CellFailure(
+                            spec, "error", f"{message}\n{trace}",
+                            attempts=attempts[slot.index],
+                        )
+                    )
+                    say(f"FAILED {spec.label()}: {message}")
+
+            now = time.monotonic()
+            for slot in [
+                s for s in slots.values()
+                if s.deadline is not None and now > s.deadline
+            ]:
+                slot.process.terminate()
+                slot.process.join(timeout=5.0)
+                if slot.process.is_alive():
+                    slot.process.kill()
+                reap(slot)
+                retry_or_fail(
+                    slot, "timeout", f"exceeded {timeout_s:.1f}s"
+                )
+    finally:
+        for slot in list(slots.values()):
+            slot.process.terminate()
+            slot.process.join(timeout=5.0)
+            if slot.process.is_alive():
+                slot.process.kill()
+            slot.conn.close()
+            del slots[slot.index]
+
+
+def results_by_spec(
+    summary: SweepSummary, specs: Sequence[SimSpec]
+) -> Mapping[SimSpec, RunStats]:
+    """The sweep's results restricted (and checked) against a cell list."""
+    missing = [spec.label() for spec in specs if spec not in summary.results]
+    if missing:
+        raise KeyError(
+            f"sweep produced no result for: {', '.join(sorted(set(missing)))}"
+        )
+    return {spec: summary.results[spec] for spec in specs}

@@ -1,0 +1,84 @@
+"""One driver for all ten table/figure reproductions.
+
+Every experiment module exposes the same two-function interface:
+
+* ``cells() -> list[SimSpec]`` — the simulation grid the experiment
+  needs (empty for the analytic tables, which need no simulation), and
+* ``render(results: Mapping[SimSpec, RunStats]) -> str`` — the
+  paper-style text output given those cells' results.
+
+:func:`run_experiment` is the single code path that executes them: it
+collects the cells, hands them to the orchestrator (parallelism, result
+cache, failure records), and renders.  The CLI's ``experiments`` and
+``sweep`` commands and the modules' own ``main()`` entry points all land
+here, so cells shared between experiments (Figs 13/14/15 and Table 5
+overlap heavily) are simulated exactly once per cache.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Optional
+
+from repro.experiments.orchestrator import (
+    SweepSummary,
+    results_by_spec,
+    run_sweep,
+)
+
+#: Paper presentation order; also the CLI's ``experiments`` choices.
+EXPERIMENT_NAMES: tuple[str, ...] = (
+    "table1", "table2", "table3", "table5",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+)
+
+
+def get_experiment(name: str):
+    """The experiment module for ``name`` (validated against the registry)."""
+    if name not in EXPERIMENT_NAMES:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {EXPERIMENT_NAMES}"
+        )
+    return importlib.import_module(f"repro.experiments.{name}")
+
+
+def run_experiment(
+    name: str,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> tuple[str, SweepSummary]:
+    """Execute one experiment end to end; returns (rendered text, summary).
+
+    Raises ``RuntimeError`` if any cell failed — the failure records are
+    in the exception message (and in the returned summary of a direct
+    :func:`~repro.experiments.orchestrator.run_sweep` call).
+    """
+    module = get_experiment(name)
+    specs = module.cells()
+    summary = run_sweep(
+        specs,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        retries=retries,
+        progress=progress,
+    )
+    if summary.failures:
+        details = "; ".join(
+            f"{failure.spec.label()}: {failure.kind}"
+            for failure in summary.failures
+        )
+        raise RuntimeError(f"{name}: {summary.failed} cell(s) failed: {details}")
+    text = module.render(results_by_spec(summary, specs))
+    return text, summary
+
+
+def main_for(name: str) -> None:
+    """Shared ``main()`` body for the experiment modules' CLI entry."""
+    text, __ = run_experiment(name)
+    print(text)

@@ -1,13 +1,20 @@
-"""Shared experiment runner: one (scheme, benchmark, topology) simulation."""
+"""Shared experiment helpers: the legacy runner shim and table formatting.
+
+The simulation entry point moved to :mod:`repro.experiments.spec`
+(``run_spec`` over a frozen :class:`~repro.experiments.spec.SimSpec`);
+grids of cells run through :mod:`repro.experiments.orchestrator`.
+``run_scheme`` below survives as a deprecated keyword-argument shim.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.core.schemes import Scheme
-from repro.core.system import NetworkInMemory, SystemConfig, RunStats
-from repro.workloads.generator import SyntheticWorkload
-from repro.experiments.config import ExperimentScale, current_scale
+from repro.core.system import SystemConfig, RunStats
+from repro.experiments.config import ExperimentScale
+from repro.experiments.spec import SimSpec, run_spec
 
 # The paper's presentation order (Fig 13/15 legends).
 SCHEME_ORDER: tuple[Scheme, ...] = (
@@ -27,24 +34,29 @@ def run_scheme(
     scale: Optional[ExperimentScale] = None,
     system_config: Optional[SystemConfig] = None,
 ) -> RunStats:
-    """Simulate one scheme on one benchmark at the given scale."""
-    scale = scale or current_scale()
-    config = system_config or SystemConfig(
-        scheme=scheme,
-        cache_mb=cache_mb,
-        num_layers=num_layers,
-        num_pillars=num_pillars,
+    """Simulate one scheme on one benchmark at the given scale.
+
+    .. deprecated::
+        Build a :class:`~repro.experiments.spec.SimSpec` and call
+        :func:`~repro.experiments.spec.run_spec` instead — specs are
+        hashable, serializable, and cacheable by the orchestrator.  This
+        shim remains for callers of the original kwargs API.
+    """
+    warnings.warn(
+        "run_scheme() is deprecated; use "
+        "repro.experiments.spec.run_spec(SimSpec.make(...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    system = NetworkInMemory(config)
-    workload = SyntheticWorkload(
+    spec = SimSpec.make(
+        scheme,
         benchmark,
-        num_cpus=config.num_cpus,
-        refs_per_cpu=scale.refs_per_cpu,
-        seed=scale.seed,
+        scale=scale,
+        cache_mb=cache_mb,
+        layers=num_layers,
+        pillars=num_pillars,
     )
-    return system.run_trace(
-        workload.traces(), warmup_events=scale.warmup_events
-    )
+    return run_spec(spec, system_config=system_config)
 
 
 def format_table(

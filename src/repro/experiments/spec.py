@@ -1,0 +1,226 @@
+"""`SimSpec`: the unified description of one simulation cell.
+
+Every experiment in the paper's evaluation is a grid of independent
+(scheme x benchmark x topology) simulations.  A :class:`SimSpec` freezes
+one grid cell — everything needed to reproduce that simulation bit for
+bit — and gives it a stable content hash, which is simultaneously:
+
+* the **cache key** for the on-disk result store
+  (:mod:`repro.experiments.orchestrator`),
+* the **seed material** for the cell's workload RNG (via
+  :func:`repro.sim.rng.derive_seed`), so results depend only on the spec,
+  never on which worker process ran the cell or in which order,
+* the **identity** used to match results back to cells after a sweep
+  (``SimSpec`` is frozen and hashable, so it keys result dicts directly).
+
+The workload seed is derived from the *workload-identity* subset of the
+spec (benchmark, trace sizing, CPU count, base seed) rather than the full
+spec, so the four schemes — and the cache-size / pillar / layer sweeps —
+see identical reference traces.  Paired comparisons across schemes are
+what the paper's figures plot; sharing traces removes workload noise
+from those deltas.
+
+:func:`run_spec` is the one simulation entry point; the historical
+``run_scheme(...)`` kwargs API in :mod:`repro.experiments.runner` is a
+thin deprecated shim over it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.schemes import Scheme
+from repro.core.system import NetworkInMemory, RunStats, SystemConfig
+from repro.sim.rng import derive_seed
+from repro.experiments.config import ExperimentScale, current_scale
+
+#: Bump when the simulation's semantics change incompatibly, so stale
+#: cached artifacts are never mistaken for current results.
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """One immutable simulation cell of an experiment grid."""
+
+    scheme: Scheme
+    benchmark: str
+    scale: ExperimentScale
+    layers: int = 2
+    pillars: int = 8
+    cache_mb: int = 16
+    seed: int = 2006
+    num_cpus: int = 8
+    # Pin CPUs to the 8-pillar reference floorplan while the pillar
+    # budget varies (Fig 17 isolates the interconnect effect).
+    fixed_floorplan: bool = False
+
+    @classmethod
+    def make(
+        cls,
+        scheme: Scheme,
+        benchmark: str,
+        scale: Optional[ExperimentScale] = None,
+        **overrides,
+    ) -> "SimSpec":
+        """Spec with the ambient scale (``REPRO_SCALE``) filled in."""
+        scale = scale or current_scale()
+        if "seed" not in overrides:
+            overrides["seed"] = scale.seed
+        return cls(scheme=scheme, benchmark=benchmark, scale=scale, **overrides)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; exact inverse of :meth:`from_dict`."""
+        return {
+            "version": SPEC_VERSION,
+            "scheme": self.scheme.value,
+            "benchmark": self.benchmark,
+            "scale": self.scale.to_dict(),
+            "layers": self.layers,
+            "pillars": self.pillars,
+            "cache_mb": self.cache_mb,
+            "seed": self.seed,
+            "num_cpus": self.num_cpus,
+            "fixed_floorplan": self.fixed_floorplan,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimSpec":
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"spec version {version} incompatible with {SPEC_VERSION}"
+            )
+        return cls(
+            scheme=Scheme(data["scheme"]),
+            benchmark=data["benchmark"],
+            scale=ExperimentScale.from_dict(data["scale"]),
+            layers=data["layers"],
+            pillars=data["pillars"],
+            cache_mb=data["cache_mb"],
+            seed=data["seed"],
+            num_cpus=data["num_cpus"],
+            fixed_floorplan=data["fixed_floorplan"],
+        )
+
+    # -- identity --------------------------------------------------------------
+
+    def spec_hash(self) -> str:
+        """Stable content hash: the cache key for this cell's results."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def workload_hash(self) -> str:
+        """Hash of the workload-identity subset of the spec.
+
+        Cells that differ only in scheme or topology share this hash and
+        therefore see identical reference traces (paired comparison).
+        """
+        identity = json.dumps(
+            {
+                "benchmark": self.benchmark,
+                "refs_per_cpu": self.scale.refs_per_cpu,
+                "num_cpus": self.num_cpus,
+                "seed": self.seed,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(identity.encode()).hexdigest()
+
+    def cell_seed(self) -> int:
+        """Workload RNG seed for this cell.
+
+        Derived from the workload hash through the same fold as every
+        named RNG stream (:func:`repro.sim.rng.derive_seed`): a pure
+        function of the spec, independent of worker process or ordering.
+        """
+        return derive_seed(self.seed, f"cell:{self.workload_hash()}")
+
+    def label(self) -> str:
+        """Short human-readable cell name for progress/failure reports."""
+        extras = []
+        if self.cache_mb != 16:
+            extras.append(f"{self.cache_mb}MB")
+        if self.layers != 2:
+            extras.append(f"{self.layers}L")
+        if self.pillars != 8:
+            extras.append(f"{self.pillars}p")
+        suffix = f" [{','.join(extras)}]" if extras else ""
+        return f"{self.scheme.value}/{self.benchmark}{suffix}"
+
+    def with_overrides(self, **changes) -> "SimSpec":
+        """Frozen-dataclass ``replace`` with a stable public name."""
+        return replace(self, **changes)
+
+
+def build_system_config(spec: SimSpec) -> SystemConfig:
+    """The `SystemConfig` a spec denotes (shared by run and describe paths)."""
+    config = SystemConfig(
+        scheme=spec.scheme,
+        cache_mb=spec.cache_mb,
+        num_layers=spec.layers,
+        num_pillars=spec.pillars,
+        num_cpus=spec.num_cpus,
+    )
+    if spec.fixed_floorplan:
+        config.cpu_positions_override = _reference_positions(spec)
+    return config
+
+
+def _reference_positions(spec: SimSpec) -> dict:
+    """CPU coordinates of the scheme's default 8-pillar placement."""
+    from repro.core.placement import build_topology
+    from repro.core.schemes import make_chip_config
+
+    setup = make_chip_config(
+        spec.scheme,
+        cache_mb=spec.cache_mb,
+        num_layers=spec.layers,
+        num_pillars=8,
+        num_cpus=spec.num_cpus,
+    )
+    return dict(build_topology(setup.chip, setup.placement).cpu_positions)
+
+
+def simulate(
+    spec: SimSpec, system_config: Optional[SystemConfig] = None
+) -> tuple[NetworkInMemory, RunStats]:
+    """Simulate one cell, returning the simulated system with its stats.
+
+    Callers that inspect post-run system state (energy accounting, the
+    CLI's ``--energy`` report) need the instance that actually ran;
+    everyone else should use :func:`run_spec`.
+    """
+    from repro.workloads.generator import SyntheticWorkload
+
+    config = system_config or build_system_config(spec)
+    system = NetworkInMemory(config)
+    workload = SyntheticWorkload(
+        spec.benchmark,
+        num_cpus=config.num_cpus,
+        refs_per_cpu=spec.scale.refs_per_cpu,
+        seed=spec.cell_seed(),
+    )
+    stats = system.run_trace(
+        workload.traces(),
+        warmup_events=spec.scale.warmup_events_for(config.num_cpus),
+    )
+    return system, stats
+
+
+def run_spec(
+    spec: SimSpec, system_config: Optional[SystemConfig] = None
+) -> RunStats:
+    """Simulate one cell.  Pure: the result is a function of the spec only.
+
+    ``system_config`` lets callers inject a pre-built configuration for
+    ablations the spec cannot express; such runs bypass the result cache
+    (the orchestrator only ever passes plain specs).
+    """
+    __, stats = simulate(spec, system_config=system_config)
+    return stats

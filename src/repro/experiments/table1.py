@@ -2,15 +2,24 @@
 
 from __future__ import annotations
 
+from typing import Mapping
+
+from repro.core.system import RunStats
 from repro.models.components import table1_rows, pillar_overhead_vs_router
 from repro.experiments.runner import format_table
+from repro.experiments.spec import SimSpec
+
+
+def cells() -> list[SimSpec]:
+    """Analytic table: no simulation cells."""
+    return []
 
 
 def run() -> list[tuple[str, float, float]]:
     return table1_rows()
 
 
-def main() -> list[tuple[str, float, float]]:
+def render(results: Mapping[SimSpec, RunStats] = ()) -> str:
     rows = run()
     formatted = []
     for name, power_w, area_mm2 in rows:
@@ -19,19 +28,28 @@ def main() -> list[tuple[str, float, float]]:
             else f"{power_w * 1e6:.2f} uW"
         )
         formatted.append([name, power, f"{area_mm2:.8g} mm^2"])
-    print(
-        format_table(
-            ["Component", "Power", "Area"],
-            formatted,
-            title="Table 1: area and power overhead of the dTDMA bus (90 nm)",
-        )
-    )
     power_ratio, area_ratio = pillar_overhead_vs_router(num_layers=4)
-    print(
-        f"4-layer pillar hardware vs one router: "
-        f"{power_ratio * 100:.3f}% power, {area_ratio * 100:.3f}% area"
+    return "\n".join(
+        [
+            format_table(
+                ["Component", "Power", "Area"],
+                formatted,
+                title=(
+                    "Table 1: area and power overhead of the dTDMA bus "
+                    "(90 nm)"
+                ),
+            ),
+            (
+                f"4-layer pillar hardware vs one router: "
+                f"{power_ratio * 100:.3f}% power, {area_ratio * 100:.3f}% area"
+            ),
+        ]
     )
-    return rows
+
+
+def main() -> list[tuple[str, float, float]]:
+    print(render({}))
+    return run()
 
 
 if __name__ == "__main__":

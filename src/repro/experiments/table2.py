@@ -2,15 +2,24 @@
 
 from __future__ import annotations
 
+from typing import Mapping
+
+from repro.core.system import RunStats
 from repro.models.via import table2_rows, area_overhead_vs_router
 from repro.experiments.runner import format_table
+from repro.experiments.spec import SimSpec
+
+
+def cells() -> list[SimSpec]:
+    """Analytic table: no simulation cells."""
+    return []
 
 
 def run() -> list[tuple[float, float]]:
     return table2_rows()
 
 
-def main() -> list[tuple[float, float]]:
+def render(results: Mapping[SimSpec, RunStats] = ()) -> str:
     rows = run()
     formatted = [
         [
@@ -20,14 +29,16 @@ def main() -> list[tuple[float, float]]:
         ]
         for pitch, area in rows
     ]
-    print(
-        format_table(
-            ["Via pitch", "Pillar area (128b bus + 42 ctrl)", "vs router"],
-            formatted,
-            title="Table 2: inter-wafer wiring area per pillar",
-        )
+    return format_table(
+        ["Via pitch", "Pillar area (128b bus + 42 ctrl)", "vs router"],
+        formatted,
+        title="Table 2: inter-wafer wiring area per pillar",
     )
-    return rows
+
+
+def main() -> list[tuple[float, float]]:
+    print(render({}))
+    return run()
 
 
 if __name__ == "__main__":

@@ -9,11 +9,14 @@ sink footprint), as the paper's identical 63.94 C column shows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.core.chip import ChipConfig
 from repro.core.placement import PlacementPolicy
+from repro.core.system import RunStats
 from repro.thermal import simulate_thermal, ThermalProfile
 from repro.experiments.runner import format_table
+from repro.experiments.spec import SimSpec
 
 
 @dataclass(frozen=True)
@@ -66,6 +69,11 @@ CASES: tuple[ThermalCase, ...] = (
 )
 
 
+def cells() -> list[SimSpec]:
+    """Thermal solve, not a trace simulation: no orchestrator cells."""
+    return []
+
+
 def run() -> list[tuple[ThermalCase, ThermalProfile]]:
     return [
         (
@@ -81,8 +89,7 @@ def run() -> list[tuple[ThermalCase, ThermalProfile]]:
     ]
 
 
-def main() -> list[tuple[ThermalCase, ThermalProfile]]:
-    results = run()
+def _format(results: list[tuple[ThermalCase, ThermalProfile]]) -> str:
     rows = [
         [
             case.label,
@@ -92,13 +99,20 @@ def main() -> list[tuple[ThermalCase, ThermalProfile]]:
         ]
         for case, profile in results
     ]
-    print(
-        format_table(
-            ["Configuration", "Peak C (paper)", "Avg C (paper)", "Min C (paper)"],
-            rows,
-            title="Table 3: thermal profile of placement configurations",
-        )
+    return format_table(
+        ["Configuration", "Peak C (paper)", "Avg C (paper)", "Min C (paper)"],
+        rows,
+        title="Table 3: thermal profile of placement configurations",
     )
+
+
+def render(results: Mapping[SimSpec, RunStats] = ()) -> str:
+    return _format(run())
+
+
+def main() -> list[tuple[ThermalCase, ThermalProfile]]:
+    results = run()
+    print(_format(results))
     return results
 
 

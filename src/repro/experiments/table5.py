@@ -10,22 +10,35 @@ their higher L1 miss rates dictate.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.core.schemes import Scheme
+from repro.core.system import RunStats
 from repro.workloads.benchmarks import BENCHMARKS
 from repro.experiments.config import ExperimentScale
-from repro.experiments.runner import run_scheme, format_table
+from repro.experiments.runner import format_table
+from repro.experiments.spec import SimSpec
 
 
-def run(
+def cells(
     scale: Optional[ExperimentScale] = None,
+) -> list[SimSpec]:
+    """One CMP-DNUCA-3D run per benchmark (shared with Fig 13's column)."""
+    return [
+        SimSpec.make(Scheme.CMP_DNUCA_3D, name, scale=scale)
+        for name in BENCHMARKS
+    ]
+
+
+def tabulate(
+    results: Mapping[SimSpec, RunStats]
 ) -> dict[str, dict[str, float]]:
     """Per-benchmark: paper columns plus measured L1 miss / L2 volume."""
-    results: dict[str, dict[str, float]] = {}
+    stats_by_benchmark = {spec.benchmark: stats for spec, stats in results.items()}
+    table: dict[str, dict[str, float]] = {}
     for name, profile in BENCHMARKS.items():
-        stats = run_scheme(Scheme.CMP_DNUCA_3D, name, scale=scale)
-        results[name] = {
+        stats = stats_by_benchmark[name]
+        table[name] = {
             "fastforward_mcycles": profile.fastforward_mcycles,
             "paper_l2_transactions": profile.l2_transactions_paper,
             "measured_l1_miss_rate": stats.l1_miss_rate,
@@ -35,11 +48,11 @@ def run(
                 stats.l2_accesses / stats.cycles if stats.cycles else 0.0
             ),
         }
-    return results
+    return table
 
 
-def main() -> dict[str, dict[str, float]]:
-    results = run()
+def render(results: Mapping[SimSpec, RunStats]) -> str:
+    table = tabulate(results)
     rows = [
         [
             name,
@@ -50,24 +63,38 @@ def main() -> dict[str, dict[str, float]]:
             f"{row['paper_intensity']:.4f}",
             f"{row['measured_intensity']:.4f}",
         ]
-        for name, row in results.items()
+        for name, row in table.items()
     ]
-    print(
-        format_table(
-            [
-                "benchmark",
-                "ffwd (Mcyc, paper)",
-                "L2 txns (paper)",
-                "L1 miss (ours)",
-                "L2 txns (ours)",
-                "txn/cyc (paper)",
-                "txn/cyc (ours)",
-            ],
-            rows,
-            title="Table 5: benchmark characterization (paper vs synthetic)",
-        )
+    return format_table(
+        [
+            "benchmark",
+            "ffwd (Mcyc, paper)",
+            "L2 txns (paper)",
+            "L1 miss (ours)",
+            "L2 txns (ours)",
+            "txn/cyc (paper)",
+            "txn/cyc (ours)",
+        ],
+        rows,
+        title="Table 5: benchmark characterization (paper vs synthetic)",
     )
-    return results
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+) -> dict[str, dict[str, float]]:
+    """Compatibility wrapper: simulate the grid and tabulate it."""
+    from repro.experiments.orchestrator import results_by_spec, run_sweep
+
+    specs = cells(scale=scale)
+    summary = run_sweep(specs)
+    return tabulate(results_by_spec(summary, specs))
+
+
+def main() -> None:
+    from repro.experiments.registry import main_for
+
+    main_for("table5")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,19 @@ import hashlib
 import numpy as np
 
 
+def derive_seed(seed: int, stream: str = "") -> int:
+    """Fold a (seed, stream-name) pair into 64 bits of seed material.
+
+    This is the single hash used everywhere randomness is derived: both
+    :func:`make_rng` and the experiment orchestrator's per-cell seeding
+    (:meth:`repro.experiments.spec.SimSpec.cell_seed`) go through it, so
+    a stream's generator depends only on its (seed, name) identity —
+    never on process layout or execution order.
+    """
+    digest = hashlib.sha256(f"{seed}:{stream}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
 def make_rng(seed: int, stream: str = "") -> np.random.Generator:
     """Create an independent, reproducible generator for a named stream.
 
@@ -19,6 +32,4 @@ def make_rng(seed: int, stream: str = "") -> np.random.Generator:
     sharing a base seed are statistically independent while remaining fully
     deterministic.
     """
-    digest = hashlib.sha256(f"{seed}:{stream}".encode()).digest()
-    material = int.from_bytes(digest[:8], "little")
-    return np.random.default_rng(material)
+    return np.random.default_rng(derive_seed(seed, stream))

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -11,6 +13,7 @@ class TestParser:
         assert args.command == "run"
         assert args.benchmark == "swim"
         assert args.refs == 30_000
+        assert args.json is False
 
     def test_scheme_parsing_case_insensitive(self):
         args = build_parser().parse_args(
@@ -29,6 +32,34 @@ class TestParser:
         assert args.name == "table1"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiments", "fig99"])
+
+    def test_experiments_orchestrator_flags(self):
+        args = build_parser().parse_args(
+            ["experiments", "fig13", "--jobs", "4", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir is None
+
+    def test_sweep_defaults_cover_the_full_grid(self):
+        from repro.core.schemes import Scheme
+        from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+        args = build_parser().parse_args(["sweep"])
+        assert args.schemes == list(Scheme)
+        assert args.benchmarks == list(BENCHMARK_NAMES)
+        assert args.cache_mb == [16]
+        assert args.jobs == 1
+
+    def test_sweep_grid_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--schemes", "CMP-DNUCA-3D", "--benchmarks", "art",
+             "swim", "--cache-mb", "16", "32", "--jobs", "2", "--json"]
+        )
+        assert len(args.schemes) == 1
+        assert args.benchmarks == ["art", "swim"]
+        assert args.cache_mb == [16, 32]
+        assert args.json is True
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -59,6 +90,40 @@ class TestCommands:
         assert "IPC (aggregate)" in out
         assert "Energy breakdown" in out
 
+    def test_run_json(self, capsys):
+        assert main(
+            ["run", "--benchmark", "art", "--refs", "1500", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["benchmark"] == "art"
+        assert payload["stats"]["scheme"] == "CMP-DNUCA-3D"
+        assert payload["stats"]["l2_hits"] > 0
+
     def test_experiments_table2(self, capsys):
         assert main(["experiments", "table2"]) == 0
         assert "Table 2" in capsys.readouterr().out
+
+    def test_sweep_tiny_grid(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--schemes", "CMP-DNUCA-3D", "--benchmarks", "art",
+            "--refs", "800", "--cache-dir", str(tmp_path), "--quiet",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Sweep results" in out
+        assert "1 cells: 1 simulated, 0 cached, 0 failed" in out
+        # Warm rerun: everything from the cache, nothing simulated.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 cells: 0 simulated, 1 cached, 0 failed" in out
+
+    def test_sweep_json_output(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--schemes", "CMP-DNUCA-3D", "--benchmarks", "art",
+            "--refs", "800", "--cache-dir", str(tmp_path), "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simulated"] == 1
+        assert payload["cells"][0]["spec"]["benchmark"] == "art"
+        assert payload["cells"][0]["stats"]["l2_hits"] > 0

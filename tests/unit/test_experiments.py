@@ -3,13 +3,16 @@
 import pytest
 
 from repro.core.schemes import Scheme
+from repro.core.system import RunStats
 from repro.experiments.config import (
     FULL,
     QUICK,
     ExperimentScale,
     current_scale,
 )
+from repro.experiments.registry import EXPERIMENT_NAMES, get_experiment
 from repro.experiments.runner import SCHEME_ORDER, format_table, run_scheme
+from repro.experiments.spec import SimSpec, run_spec
 from repro.experiments import table1, table2
 
 
@@ -27,11 +30,25 @@ class TestScales:
         with pytest.raises(ValueError):
             current_scale()
 
-    def test_warmup_events_counts_all_cpus(self):
+    def test_warmup_events_scale_with_cpu_count(self):
         scale = ExperimentScale(
             name="x", refs_per_cpu=1000, warmup_fraction=0.5
         )
-        assert scale.warmup_events == 4000
+        assert scale.warmup_events_for(8) == 4000
+        assert scale.warmup_events_for(4) == 2000
+        assert scale.warmup_events_for(16) == 8000
+
+    def test_warmup_events_property_assumes_eight_cpus(self):
+        scale = ExperimentScale(
+            name="x", refs_per_cpu=1000, warmup_fraction=0.5
+        )
+        assert scale.warmup_events == scale.warmup_events_for(8)
+
+    def test_scale_round_trips(self):
+        scale = ExperimentScale(
+            name="x", refs_per_cpu=123, warmup_fraction=0.25, seed=9
+        )
+        assert ExperimentScale.from_dict(scale.to_dict()) == scale
 
 
 class TestFormatTable:
@@ -61,19 +78,84 @@ class TestRunner:
             Scheme.CMP_DNUCA_3D,
         )
 
-    def test_run_scheme_tiny(self):
+    def test_run_spec_tiny(self):
         scale = ExperimentScale(name="tiny", refs_per_cpu=400)
-        stats = run_scheme(Scheme.CMP_DNUCA_3D, "art", scale=scale)
+        spec = SimSpec.make(Scheme.CMP_DNUCA_3D, "art", scale=scale)
+        stats = run_spec(spec)
         assert stats.l2_accesses > 0
         assert stats.scheme == Scheme.CMP_DNUCA_3D
 
-    def test_run_scheme_respects_topology_args(self):
+    def test_run_spec_respects_topology_args(self):
         scale = ExperimentScale(name="tiny", refs_per_cpu=200)
-        stats = run_scheme(
-            Scheme.CMP_SNUCA_3D, "art",
-            num_layers=4, num_pillars=8, scale=scale,
+        spec = SimSpec.make(
+            Scheme.CMP_SNUCA_3D, "art", scale=scale, layers=4, pillars=8
         )
+        stats = run_spec(spec)
         assert stats.l2_accesses > 0
+
+    def test_run_scheme_shim_matches_run_spec(self):
+        """The deprecated kwargs API warns and delegates to run_spec."""
+        scale = ExperimentScale(name="tiny", refs_per_cpu=400)
+        with pytest.deprecated_call():
+            legacy = run_scheme(Scheme.CMP_DNUCA_3D, "art", scale=scale)
+        spec = SimSpec.make(Scheme.CMP_DNUCA_3D, "art", scale=scale)
+        assert legacy.to_dict() == run_spec(spec).to_dict()
+
+
+def fake_stats(spec: SimSpec, latency: float = 50.0) -> RunStats:
+    return RunStats(
+        scheme=spec.scheme,
+        avg_l2_hit_latency=latency,
+        avg_l2_miss_latency=300.0,
+        l2_hits=80,
+        l2_misses=20,
+        migrations=5,
+        ipc=1.0,
+        per_cpu_ipc=[1.0] * 8,
+        l1_miss_rate=0.1,
+        flit_hops=1000.0,
+        bus_flits=100.0,
+        invalidations=3,
+        instructions=10_000.0,
+        cycles=10_000.0,
+    )
+
+
+class TestUniformInterface:
+    """Every registered experiment exposes cells() and render()."""
+
+    def test_registry_covers_all_ten(self):
+        assert len(EXPERIMENT_NAMES) == 10
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    @pytest.mark.parametrize("name", EXPERIMENT_NAMES)
+    def test_cells_are_specs(self, name):
+        module = get_experiment(name)
+        specs = module.cells()
+        assert isinstance(specs, list)
+        for spec in specs:
+            assert isinstance(spec, SimSpec)
+
+    @pytest.mark.parametrize(
+        "name", [n for n in EXPERIMENT_NAMES if n not in
+                 ("table1", "table2", "table3")]
+    )
+    def test_render_from_fake_results(self, name):
+        """render() needs only a results mapping, not a live simulation."""
+        module = get_experiment(name)
+        results = {spec: fake_stats(spec) for spec in module.cells()}
+        text = module.render(results)
+        assert isinstance(text, str) and text
+
+    def test_simulation_experiments_share_default_cells(self):
+        """Figs 13/14/15 and Table 5 overlap: one cache pays once."""
+        fig13 = set(get_experiment("fig13").cells())
+        assert set(get_experiment("fig15").cells()) == fig13
+        assert set(get_experiment("fig14").cells()) <= fig13
+        assert set(get_experiment("table5").cells()) <= fig13
 
 
 class TestStaticTables:
@@ -83,6 +165,10 @@ class TestStaticTables:
     def test_table2_runs(self):
         rows = table2.run()
         assert [pitch for pitch, __ in rows] == [10.0, 5.0, 1.0, 0.2]
+
+    def test_static_tables_have_no_cells(self):
+        assert table1.cells() == []
+        assert table2.cells() == []
 
     def test_table_mains_print(self, capsys):
         table1.main()

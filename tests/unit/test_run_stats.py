@@ -33,3 +33,17 @@ def test_hit_rate():
 
 def test_hit_rate_empty():
     assert make_stats(hits=0, misses=0).l2_hit_rate == 0.0
+
+
+def test_round_trip_identity():
+    stats = make_stats()
+    clone = RunStats.from_dict(stats.to_dict())
+    assert clone == stats
+    assert clone.scheme is Scheme.CMP_DNUCA_3D
+
+
+def test_to_dict_is_json_safe():
+    import json
+
+    encoded = json.dumps(make_stats().to_dict())
+    assert RunStats.from_dict(json.loads(encoded)) == make_stats()

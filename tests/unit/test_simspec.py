@@ -1,0 +1,170 @@
+"""SimSpec identity, serialization, and seeding invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schemes import Scheme
+from repro.core.system import RunStats
+from repro.experiments.config import QUICK, ExperimentScale
+from repro.experiments.spec import SPEC_VERSION, SimSpec
+
+
+def make_spec(**overrides) -> SimSpec:
+    fields = dict(scheme=Scheme.CMP_DNUCA_3D, benchmark="art", scale=QUICK)
+    fields.update(overrides)
+    return SimSpec(**fields)
+
+
+class TestRoundTrip:
+    def test_to_from_dict_identity(self):
+        spec = make_spec(layers=4, pillars=2, cache_mb=64, seed=7)
+        assert SimSpec.from_dict(spec.to_dict()) == spec
+
+    def test_version_mismatch_rejected(self):
+        data = make_spec().to_dict()
+        data["version"] = SPEC_VERSION + 1
+        with pytest.raises(ValueError):
+            SimSpec.from_dict(data)
+
+    def test_make_fills_ambient_scale_and_seed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        spec = SimSpec.make(Scheme.CMP_DNUCA_2D, "swim")
+        assert spec.scale == QUICK
+        assert spec.seed == QUICK.seed
+
+
+class TestHashing:
+    def test_hash_is_stable_across_instances(self):
+        assert make_spec().spec_hash() == make_spec().spec_hash()
+
+    def test_every_field_changes_the_hash(self):
+        base = make_spec()
+        variants = [
+            make_spec(scheme=Scheme.CMP_DNUCA_2D),
+            make_spec(benchmark="swim"),
+            make_spec(scale=ExperimentScale(name="t", refs_per_cpu=10)),
+            make_spec(layers=4),
+            make_spec(pillars=4),
+            make_spec(cache_mb=32),
+            make_spec(seed=1),
+            make_spec(num_cpus=4),
+            make_spec(fixed_floorplan=True),
+        ]
+        hashes = {spec.spec_hash() for spec in variants}
+        assert base.spec_hash() not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_specs_usable_as_dict_keys(self):
+        results = {make_spec(): 1, make_spec(benchmark="swim"): 2}
+        assert results[make_spec()] == 1
+
+
+class TestSeeding:
+    def test_cell_seed_pure_function_of_spec(self):
+        assert make_spec().cell_seed() == make_spec().cell_seed()
+
+    def test_schemes_share_the_workload(self):
+        """Paired comparison: topology knobs must not perturb traces."""
+        base = make_spec()
+        for variant in (
+            make_spec(scheme=Scheme.CMP_SNUCA_3D),
+            make_spec(layers=4),
+            make_spec(pillars=2),
+            make_spec(cache_mb=64),
+            make_spec(fixed_floorplan=True),
+        ):
+            assert variant.workload_hash() == base.workload_hash()
+            assert variant.cell_seed() == base.cell_seed()
+
+    def test_workload_identity_changes_the_seed(self):
+        base = make_spec()
+        for variant in (
+            make_spec(benchmark="swim"),
+            make_spec(seed=1),
+            make_spec(num_cpus=4),
+            make_spec(scale=ExperimentScale(name="t", refs_per_cpu=10)),
+        ):
+            assert variant.cell_seed() != base.cell_seed()
+
+
+scales = st.builds(
+    ExperimentScale,
+    name=st.sampled_from(["quick", "full", "tiny"]),
+    refs_per_cpu=st.integers(1, 10**6),
+    warmup_fraction=st.floats(0.0, 1.0, allow_nan=False),
+    seed=st.integers(0, 2**31),
+)
+specs = st.builds(
+    SimSpec,
+    scheme=st.sampled_from(list(Scheme)),
+    benchmark=st.sampled_from(["art", "swim", "mgrid"]),
+    scale=scales,
+    layers=st.sampled_from([1, 2, 4]),
+    pillars=st.sampled_from([2, 4, 8]),
+    cache_mb=st.sampled_from([16, 32, 64]),
+    seed=st.integers(0, 2**31),
+    num_cpus=st.sampled_from([4, 8, 16]),
+    fixed_floorplan=st.booleans(),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=specs)
+def test_property_spec_round_trip(spec):
+    """Any spec survives to_dict/from_dict with its hash intact."""
+    clone = SimSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    assert clone.spec_hash() == spec.spec_hash()
+    assert clone.cell_seed() == spec.cell_seed()
+
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    scheme=st.sampled_from(list(Scheme)),
+    hit_latency=finite,
+    miss_latency=finite,
+    hits=st.integers(0, 10**9),
+    misses=st.integers(0, 10**9),
+    migrations=st.integers(0, 10**6),
+    ipc=finite,
+    per_cpu_ipc=st.lists(finite, max_size=8),
+    l1_miss_rate=finite,
+    flit_hops=finite,
+    bus_flits=finite,
+    invalidations=st.integers(0, 10**9),
+    instructions=finite,
+    cycles=finite,
+)
+def test_property_run_stats_round_trip(
+    scheme, hit_latency, miss_latency, hits, misses, migrations, ipc,
+    per_cpu_ipc, l1_miss_rate, flit_hops, bus_flits, invalidations,
+    instructions, cycles,
+):
+    """RunStats round-trips bit-exactly, including through JSON floats."""
+    import json
+
+    stats = RunStats(
+        scheme=scheme,
+        avg_l2_hit_latency=hit_latency,
+        avg_l2_miss_latency=miss_latency,
+        l2_hits=hits,
+        l2_misses=misses,
+        migrations=migrations,
+        ipc=ipc,
+        per_cpu_ipc=per_cpu_ipc,
+        l1_miss_rate=l1_miss_rate,
+        flit_hops=flit_hops,
+        bus_flits=bus_flits,
+        invalidations=invalidations,
+        instructions=instructions,
+        cycles=cycles,
+    )
+    direct = RunStats.from_dict(stats.to_dict())
+    assert direct == stats
+    through_json = RunStats.from_dict(
+        json.loads(json.dumps(stats.to_dict()))
+    )
+    assert through_json == stats
