@@ -50,6 +50,20 @@ def _scheme(name: str) -> Scheme:
     )
 
 
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    """Profiling flags for the simulation-heavy commands."""
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top 25 functions "
+             "by cumulative time to stderr",
+    )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="FILE",
+        help="also dump the raw pstats data to FILE "
+             "(for snakeviz / pstats post-processing)",
+    )
+
+
 def _add_orchestrator_args(parser: argparse.ArgumentParser) -> None:
     """Flags shared by every command that drives the sweep orchestrator."""
     parser.add_argument(
@@ -98,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the energy breakdown too")
     run.add_argument("--json", action="store_true",
                      help="emit the spec and statistics as JSON")
+    _add_profile_args(run)
 
     sweep = sub.add_parser(
         "sweep",
@@ -127,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-cell progress lines")
     _add_orchestrator_args(sweep)
+    _add_profile_args(sweep)
 
     thermal = sub.add_parser("thermal", help="thermal profile of a placement")
     thermal.add_argument("--layers", type=int, default=2)
@@ -318,7 +334,27 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "describe": _cmd_describe,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if not getattr(args, "profile", False) and not getattr(
+        args, "profile_out", None
+    ):
+        return handler(args)
+
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return handler(args)
+    finally:
+        profiler.disable()
+        # Report on stderr so `--json` output on stdout stays parseable.
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+        if args.profile_out:
+            stats.dump_stats(args.profile_out)
+            print(f"profile written to {args.profile_out}", file=sys.stderr)
 
 
 if __name__ == "__main__":

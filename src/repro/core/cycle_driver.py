@@ -48,6 +48,7 @@ class CyclePricer:
             # fabric quiescent, which is exactly where the activity-tracked
             # kernel's idle fast-forward pays off.
             activity_tracking=system.config.activity_tracking,
+            fabric=system.config.noc_fabric,
         )
 
     # -- helpers ------------------------------------------------------------

@@ -73,6 +73,10 @@ class SystemConfig:
     # transaction legs; False falls back to the naive tick-everything
     # kernel (bit-identical results, much slower).
     activity_tracking: bool = True
+    # Fabric implementation for mode="cycle": "optimized" is the
+    # allocation-free hot path, "reference" the frozen naive fabric it is
+    # differentially verified against (bit-identical, much slower).
+    noc_fabric: str = "optimized"
     # Consecutive same-CPU accesses before a gradual one-cluster move.
     # Lazy and conservative: shared lines whose accessors alternate are
     # left in place (anti-ping-pong).
@@ -90,6 +94,8 @@ class SystemConfig:
     def validate(self) -> None:
         if self.mode not in ("model", "cycle"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.noc_fabric not in ("optimized", "reference"):
+            raise ValueError(f"unknown noc_fabric {self.noc_fabric!r}")
         if self.tag_latency < 1 or self.bank_latency < 1:
             raise ValueError("array latencies must be positive")
 

@@ -15,11 +15,13 @@ packets never interleave within a receiving VC.
 
 from __future__ import annotations
 
+import functools
 from typing import Optional
 
 from repro.sim.engine import ClockedComponent, Engine
 from repro.sim.stats import StatsRegistry
 from repro.noc.flit import Flit
+from repro.noc.link import CreditPipeline
 from repro.noc.router import Router, InputPort
 from repro.noc.routing import Port
 from repro.dtdma.arbiter import DynamicTDMAArbiter
@@ -40,6 +42,11 @@ class PillarBus(ClockedComponent):
         In-plane coordinates of the pillar (same on every layer).
     routers:
         The pillar routers, one per layer, indexed by layer number.
+    event_scheduling:
+        ``True`` recreates the naive fabric's wiring (heap events and
+        closures for rx delivery and credit returns) for the frozen
+        reference network; ``False`` (default) uses the allocation-free
+        direct-deposit/post paths, which are timing-equivalent.
     """
 
     def __init__(
@@ -48,8 +55,10 @@ class PillarBus(ClockedComponent):
         xy: tuple[int, int],
         routers: dict[int, Router],
         stats: Optional[StatsRegistry] = None,
+        event_scheduling: bool = False,
     ):
         self.engine = engine
+        self.event_scheduling = event_scheduling
         self.xy = xy
         self.layers = sorted(routers)
         self.stats = stats or StatsRegistry(f"pillar{xy}")
@@ -76,21 +85,31 @@ class PillarBus(ClockedComponent):
                 downstream_depth=vc_depth,
                 deliver=transceiver.accept,
             )
-            transceiver.credit_return = (
-                lambda vc, op=output_port: engine.schedule(
-                    1, lambda: op.return_credit(vc)
+            if event_scheduling:
+                transceiver.credit_return = (
+                    lambda vc, op=output_port: engine.schedule(
+                        1, lambda: op.return_credit(vc)
+                    )
                 )
-            )
+            else:
+                transceiver.credit_return = CreditPipeline(
+                    engine, output_port.return_credit
+                )
 
             # Bus receive side is the router's VERTICAL input port.
             rx_port = router.add_input_port(Port.VERTICAL)
             self._rx_ports[layer] = rx_port
             self._rx_credits[layer] = [vc_depth] * num_vcs
-            rx_port.credit_return = (
-                lambda vc, lay=layer: engine.schedule(
-                    1, lambda: self._return_rx_credit(lay, vc)
+            if event_scheduling:
+                rx_port.credit_return = (
+                    lambda vc, lay=layer: engine.schedule(
+                        1, lambda: self._return_rx_credit(lay, vc)
+                    )
                 )
-            )
+            else:
+                rx_port.credit_return = CreditPipeline(
+                    engine, functools.partial(self._return_rx_credit, layer)
+                )
             for vc in range(num_vcs):
                 self._vc_owner[(layer, vc)] = None
 
@@ -186,7 +205,13 @@ class PillarBus(ClockedComponent):
         if flit.is_tail:
             self._vc_owner[(dest_layer, vc)] = None
         rx_port = self._rx_ports[dest_layer]
-        self.engine.schedule(1, lambda f=flit, v=vc: rx_port.accept(f, v))
+        if self.event_scheduling:
+            self.engine.schedule(1, lambda f=flit, v=vc: rx_port.accept(f, v))
+        else:
+            # Direct deposit during advance: the receiving router first
+            # arbitrates over the flit next cycle either way, and the rx
+            # credit bound rules out buffer overflow.
+            rx_port.accept(flit, vc)
         self._busy.increment()
         self._transfers.increment()
         self._granted = None

@@ -3,18 +3,51 @@
 Packets are segmented into flits for wormhole switching.  The paper uses
 128-bit flits and 4-flit packets so that one 64-byte cache line fits in a
 single packet.
+
+Hot-path notes: ``is_head``/``is_tail`` are plain attributes computed once
+at construction (the router checks them per flit per hop, so an enum
+property chain there is measurable), and ids are drawn from a per-network
+:class:`IdScope` so back-to-back simulations in one process produce
+identical flit ids and reprs.
 """
 
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.noc.packet import Packet
 
-_flit_ids = itertools.count()
+
+class IdScope:
+    """Flit/packet id counters scoped to one network instance.
+
+    A module-global ``itertools.count()`` would make ids depend on every
+    simulation run earlier in the process, breaking trace diffing and the
+    sweep orchestrator's in-process reruns.  Each :class:`~repro.noc.network.Network`
+    owns one scope; loose packets built without a network fall back to the
+    shared :data:`DEFAULT_IDS`.
+    """
+
+    __slots__ = ("_next_flit", "_next_packet")
+
+    def __init__(self) -> None:
+        self._next_flit = 0
+        self._next_packet = 0
+
+    def next_flit_id(self) -> int:
+        flit_id = self._next_flit
+        self._next_flit = flit_id + 1
+        return flit_id
+
+    def next_packet_id(self) -> int:
+        packet_id = self._next_packet
+        self._next_packet = packet_id + 1
+        return packet_id
+
+
+DEFAULT_IDS = IdScope()
 
 
 class FlitType(enum.Enum):
@@ -42,22 +75,24 @@ class Flit:
     network latency statistics.
     """
 
-    __slots__ = ("packet", "flit_type", "index", "flit_id", "injected_cycle")
+    __slots__ = (
+        "packet",
+        "flit_type",
+        "index",
+        "flit_id",
+        "injected_cycle",
+        "is_head",
+        "is_tail",
+    )
 
     def __init__(self, packet: "Packet", flit_type: FlitType, index: int):
         self.packet = packet
         self.flit_type = flit_type
         self.index = index
-        self.flit_id = next(_flit_ids)
+        self.flit_id = packet.ids.next_flit_id()
         self.injected_cycle: int | None = None
-
-    @property
-    def is_head(self) -> bool:
-        return self.flit_type.is_head
-
-    @property
-    def is_tail(self) -> bool:
-        return self.flit_type.is_tail
+        self.is_head = flit_type is FlitType.HEAD or flit_type is FlitType.HEAD_TAIL
+        self.is_tail = flit_type is FlitType.TAIL or flit_type is FlitType.HEAD_TAIL
 
     def __repr__(self) -> str:
         return (

@@ -5,6 +5,14 @@ through a NIC.  Injection segments packets into flits and feeds them into
 the router's ``LOCAL`` input port under normal VC/credit rules; ejection
 reassembles flits arriving on the ``LOCAL`` output port and fires a
 completion callback with the whole packet.
+
+Hot-path wiring: the injection "link" is one cycle, so the NIC deposits
+directly into the router's LOCAL input buffer during its own ``advance``
+(timing-equivalent to the event the naive NIC schedules — the router first
+arbitrates over the flit in the following cycle either way), credits ride
+the engine's post queue via :class:`~repro.noc.link.CreditPipeline`, and
+ejected flits are recycled through the network's
+:class:`~repro.noc.packet.FlitPool`.
 """
 
 from __future__ import annotations
@@ -15,7 +23,8 @@ from typing import Callable, Optional
 from repro.sim.engine import ClockedComponent, Engine
 from repro.sim.stats import StatsRegistry
 from repro.noc.flit import Flit
-from repro.noc.packet import Packet
+from repro.noc.link import CreditPipeline
+from repro.noc.packet import FlitPool, Packet
 from repro.noc.router import Router, OutputPort
 from repro.noc.routing import Port
 
@@ -31,6 +40,9 @@ class NetworkInterface(ClockedComponent):
         The router this NIC is the local client of.
     on_packet:
         Callback invoked with each fully ejected :class:`Packet`.
+    pool:
+        Optional :class:`FlitPool`; injected flits are drawn from it and
+        ejected flits returned to it.
     """
 
     def __init__(
@@ -39,11 +51,13 @@ class NetworkInterface(ClockedComponent):
         router: Router,
         on_packet: Optional[Callable[[Packet], None]] = None,
         stats: Optional[StatsRegistry] = None,
+        pool: Optional[FlitPool] = None,
     ):
         self.engine = engine
         self.router = router
         self.on_packet = on_packet
         self.stats = stats or StatsRegistry(f"nic{router.coord}")
+        self._pool = pool
         self._inject_queue: deque[Packet] = deque()
         self._current_flits: deque[Flit] = deque()
         self._current_vc: Optional[int] = None
@@ -52,20 +66,15 @@ class NetworkInterface(ClockedComponent):
         self._injected = self.stats.counter("nic.packets_injected")
         self._received = self.stats.counter("nic.packets_received")
 
-        # Injection path: NIC output -> router LOCAL input.
+        # Injection path: NIC output -> router LOCAL input, a one-cycle
+        # hop deposited directly (see module docstring).
         local_input = router.add_input_port(Port.LOCAL)
-
-        def deliver(flit: Flit, vc: int) -> None:
-            engine.schedule(1, lambda: local_input.accept(flit, vc))
-
         self._output = OutputPort(
-            Port.LOCAL, router.num_vcs, router.vc_depth, deliver
+            Port.LOCAL, router.num_vcs, router.vc_depth, local_input.accept
         )
-
-        def credit_return(vc: int) -> None:
-            engine.schedule(1, lambda: self._output.return_credit(vc))
-
-        local_input.credit_return = credit_return
+        local_input.credit_return = CreditPipeline(
+            engine, self._output.return_credit
+        )
 
         # Ejection path: router LOCAL output -> NIC sink (always accepts).
         router.add_output_port(
@@ -104,7 +113,7 @@ class NetworkInterface(ClockedComponent):
                 return
             packet = self._inject_queue.popleft()
             packet.injected_cycle = cycle
-            self._current_flits = deque(packet.make_flits())
+            self._current_flits = deque(packet.make_flits(self._pool))
             self._current_vc = vc
             self._injected.increment()
         if self._output.credits[self._current_vc] > 0:
@@ -126,6 +135,8 @@ class NetworkInterface(ClockedComponent):
             self._ejected_packets.append(packet)
             if self.on_packet is not None:
                 self.on_packet(packet)
+        if self._pool is not None:
+            self._pool.release(flit)
 
     def drain_ejected(self) -> list[Packet]:
         """Return and clear the list of completed packets."""

@@ -14,10 +14,14 @@ from typing import Callable, Iterator, Optional
 
 from repro.sim.engine import Engine
 from repro.sim.stats import StatsRegistry
-from repro.noc.packet import Packet, MessageClass
+from repro.noc.flit import IdScope
+from repro.noc.link import LinkPipeline
+from repro.noc.packet import FlitPool, Packet, MessageClass
 from repro.noc.router import Router, connect
 from repro.noc.routing import Coord, Port, best_pillar
 from repro.noc.interface import NetworkInterface
+
+FABRICS = ("optimized", "reference")
 
 
 @dataclass
@@ -72,15 +76,31 @@ class Network:
         engine: Optional[Engine] = None,
         stats: Optional[StatsRegistry] = None,
         activity_tracking: bool = True,
+        fabric: str = "optimized",
     ):
         config.validate()
+        if fabric not in FABRICS:
+            raise ValueError(
+                f"unknown fabric {fabric!r}; choose from {FABRICS}"
+            )
         self.config = config
+        self.fabric = fabric
         # ``activity_tracking`` selects the kernel for a self-owned engine
         # (ignored when an engine is supplied): the activity-tracked kernel
         # skips quiescent routers/NICs/pillars and produces bit-identical
-        # results to the naive one.
+        # results to the naive one.  ``fabric`` selects between the
+        # allocation-free hot path ("optimized") and the frozen naive
+        # implementation ("reference") that the differential test compares
+        # it against; both produce bit-identical results.
         self.engine = engine or Engine("network", activity_tracking=activity_tracking)
         self.stats = stats or StatsRegistry("network")
+        # Per-network id scope: packet/flit id sequences restart at zero
+        # for every Network, so back-to-back simulations in one process
+        # produce identical traces.
+        self.ids = IdScope()
+        self.flit_pool: Optional[FlitPool] = (
+            FlitPool() if fabric == "optimized" else None
+        )
         self.routers: dict[Coord, Router] = {}
         self.nics: dict[Coord, NetworkInterface] = {}
         self.pillars: dict[tuple[int, int], "PillarBus"] = {}
@@ -91,36 +111,98 @@ class Network:
     # -- construction -------------------------------------------------------
 
     def _build(self) -> None:
+        if self.fabric == "reference":
+            self._build_reference()
+        else:
+            self._build_optimized()
+
+    def _build_optimized(self) -> None:
         cfg = self.config
         for coord in self.coords():
             router = Router(coord, cfg.num_vcs, cfg.vc_depth, stats=self.stats)
             self.routers[coord] = router
             self.engine.register(router)
 
-        # Mesh links within each layer.
+        # Mesh links within each layer.  Multi-cycle links share one
+        # calendar-ring pipeline for the whole network.
+        pipeline = None
+        if cfg.link_latency >= 2:
+            pipeline = LinkPipeline(self.engine, cfg.link_latency)
+            self.engine.register(pipeline)
+        self._link_pipeline = pipeline
         for coord, router in self.routers.items():
             east = Coord(coord.x + 1, coord.y, coord.z)
             if east in self.routers:
                 connect(self.engine, router, Port.EAST,
-                        self.routers[east], Port.WEST, cfg.link_latency)
+                        self.routers[east], Port.WEST, cfg.link_latency,
+                        pipeline=pipeline)
                 connect(self.engine, self.routers[east], Port.WEST,
-                        router, Port.EAST, cfg.link_latency)
+                        router, Port.EAST, cfg.link_latency,
+                        pipeline=pipeline)
             north = Coord(coord.x, coord.y + 1, coord.z)
             if north in self.routers:
                 connect(self.engine, router, Port.NORTH,
-                        self.routers[north], Port.SOUTH, cfg.link_latency)
+                        self.routers[north], Port.SOUTH, cfg.link_latency,
+                        pipeline=pipeline)
                 connect(self.engine, self.routers[north], Port.SOUTH,
-                        router, Port.NORTH, cfg.link_latency)
+                        router, Port.NORTH, cfg.link_latency,
+                        pipeline=pipeline)
 
         # NICs at every node.
         for coord, router in self.routers.items():
             nic = NetworkInterface(
-                self.engine, router, on_packet=self._on_packet, stats=self.stats
+                self.engine, router, on_packet=self._on_packet,
+                stats=self.stats, pool=self.flit_pool,
             )
             self.nics[coord] = nic
             self.engine.register(nic)
 
-        # Pillars bridging the layers.
+        self._build_pillars(event_scheduling=False)
+
+    def _build_reference(self) -> None:
+        from repro.noc.reference import (  # local import: oracle only
+            ReferenceNetworkInterface,
+            ReferenceRouter,
+            reference_connect,
+        )
+
+        cfg = self.config
+        for coord in self.coords():
+            router = ReferenceRouter(
+                coord, cfg.num_vcs, cfg.vc_depth, stats=self.stats
+            )
+            self.routers[coord] = router
+            self.engine.register(router)
+
+        self._link_pipeline = None
+        for coord, router in self.routers.items():
+            east = Coord(coord.x + 1, coord.y, coord.z)
+            if east in self.routers:
+                reference_connect(self.engine, router, Port.EAST,
+                                  self.routers[east], Port.WEST,
+                                  cfg.link_latency)
+                reference_connect(self.engine, self.routers[east], Port.WEST,
+                                  router, Port.EAST, cfg.link_latency)
+            north = Coord(coord.x, coord.y + 1, coord.z)
+            if north in self.routers:
+                reference_connect(self.engine, router, Port.NORTH,
+                                  self.routers[north], Port.SOUTH,
+                                  cfg.link_latency)
+                reference_connect(self.engine, self.routers[north], Port.SOUTH,
+                                  router, Port.NORTH, cfg.link_latency)
+
+        for coord, router in self.routers.items():
+            nic = ReferenceNetworkInterface(
+                self.engine, router, on_packet=self._on_packet,
+                stats=self.stats,
+            )
+            self.nics[coord] = nic
+            self.engine.register(nic)
+
+        self._build_pillars(event_scheduling=True)
+
+    def _build_pillars(self, event_scheduling: bool) -> None:
+        cfg = self.config
         if cfg.layers > 1:
             from repro.dtdma.bus import PillarBus  # local import: avoid cycle
 
@@ -129,7 +211,10 @@ class Network:
                     z: self.routers[Coord(xy[0], xy[1], z)]
                     for z in range(cfg.layers)
                 }
-                bus = PillarBus(self.engine, xy, pillar_routers, stats=self.stats)
+                bus = PillarBus(
+                    self.engine, xy, pillar_routers, stats=self.stats,
+                    event_scheduling=event_scheduling,
+                )
                 self.pillars[xy] = bus
                 self.engine.register(bus)
 
@@ -175,6 +260,7 @@ class Network:
             message_class,
             pillar_xy,
             payload,
+            ids=self.ids,
         )
         self._in_flight += 1
         self.nics[src].inject(packet)

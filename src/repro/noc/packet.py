@@ -9,13 +9,10 @@ so statistics can be broken out per class.
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import Optional
 
-from repro.noc.flit import Flit, FlitType
+from repro.noc.flit import DEFAULT_IDS, Flit, FlitType, IdScope
 from repro.noc.routing import Coord
-
-_packet_ids = itertools.count()
 
 
 class MessageClass(enum.Enum):
@@ -43,10 +40,15 @@ class Packet:
     pillar_xy:
         ``(x, y)`` of the vertical pillar this packet will use when
         ``src.z != dest.z``.  Chosen by the network at injection time.
+    ids:
+        The :class:`IdScope` to draw packet/flit ids from.  Networks pass
+        their own scope so id sequences restart per simulation; loose
+        packets share the process-wide default scope.
     """
 
     __slots__ = (
         "packet_id",
+        "ids",
         "src",
         "dest",
         "size_flits",
@@ -66,10 +68,12 @@ class Packet:
         message_class: MessageClass = MessageClass.SYNTHETIC,
         pillar_xy: Optional[tuple[int, int]] = None,
         payload: object = None,
+        ids: Optional[IdScope] = None,
     ):
         if size_flits < 1:
             raise ValueError("packet must contain at least one flit")
-        self.packet_id = next(_packet_ids)
+        self.ids = ids if ids is not None else DEFAULT_IDS
+        self.packet_id = self.ids.next_packet_id()
         self.src = src
         self.dest = dest
         self.size_flits = size_flits
@@ -80,16 +84,21 @@ class Packet:
         self.ejected_cycle: Optional[int] = None
         self.payload = payload
 
-    def make_flits(self) -> list[Flit]:
-        """Segment the packet into its wormhole flits."""
+    def make_flits(self, pool: Optional["FlitPool"] = None) -> list[Flit]:
+        """Segment the packet into its wormhole flits.
+
+        With ``pool``, flit objects are drawn from its free list instead of
+        constructed; ids and timestamps are reinitialised either way.
+        """
+        acquire = pool.acquire if pool is not None else Flit
         if self.size_flits == 1:
-            return [Flit(self, FlitType.HEAD_TAIL, 0)]
-        flits = [Flit(self, FlitType.HEAD, 0)]
+            return [acquire(self, FlitType.HEAD_TAIL, 0)]
+        flits = [acquire(self, FlitType.HEAD, 0)]
         flits.extend(
-            Flit(self, FlitType.BODY, index)
+            acquire(self, FlitType.BODY, index)
             for index in range(1, self.size_flits - 1)
         )
-        flits.append(Flit(self, FlitType.TAIL, self.size_flits - 1))
+        flits.append(acquire(self, FlitType.TAIL, self.size_flits - 1))
         return flits
 
     @property
@@ -111,3 +120,45 @@ class Packet:
             f"Packet({self.packet_id}: {self.src}->{self.dest}, "
             f"{self.size_flits}f, {self.message_class.value})"
         )
+
+
+class FlitPool:
+    """LIFO free list of :class:`Flit` objects.
+
+    The loaded mesh churns through four flit objects per packet; recycling
+    them removes the dominant allocation in the injection path.  A released
+    flit is fully reinitialised on acquire — including a fresh ``flit_id``
+    from the packet's scope — so pooled and unpooled runs produce identical
+    ids, reprs, and statistics.
+    """
+
+    __slots__ = ("_free",)
+
+    def __init__(self) -> None:
+        self._free: list[Flit] = []
+
+    def acquire(self, packet: Packet, flit_type: FlitType, index: int) -> Flit:
+        free = self._free
+        if not free:
+            return Flit(packet, flit_type, index)
+        flit = free.pop()
+        flit.packet = packet
+        flit.flit_type = flit_type
+        flit.index = index
+        flit.flit_id = packet.ids.next_flit_id()
+        flit.injected_cycle = None
+        flit.is_head = flit_type is FlitType.HEAD or flit_type is FlitType.HEAD_TAIL
+        flit.is_tail = flit_type is FlitType.TAIL or flit_type is FlitType.HEAD_TAIL
+        return flit
+
+    def release(self, flit: Flit) -> None:
+        """Return an ejected flit to the free list.
+
+        The caller must be done with the flit entirely; the packet
+        reference is dropped so pooled flits never pin completed packets.
+        """
+        flit.packet = None
+        self._free.append(flit)
+
+    def __len__(self) -> int:
+        return len(self._free)

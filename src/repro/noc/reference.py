@@ -1,0 +1,375 @@
+"""Frozen pre-optimisation fabric: the bit-exactness oracle for the hot path.
+
+This module is a verbatim copy of the wormhole router, link wiring, and NIC
+as they stood *before* the allocation-free hot-path rewrite (cached route
+tables, link/credit pipelines, flit pooling).  It is deliberately naive:
+per-hop heap events with closure callbacks, per-cycle list/set allocation
+in ``evaluate``, enum-property ``is_head``/``is_tail`` chains.
+
+Do not "improve" this code.  Its entire value is that it does not change:
+``tests/integration/test_noc_differential.py`` builds one network from this
+module and one from the optimized ``repro.noc`` classes and asserts
+bit-identical packet counts, latencies, counters, and histograms.  After
+touching anything in ``repro.noc`` or the dTDMA bus hot path, re-run that
+test (all three injection rates) to re-verify exactness.
+
+Select it end to end with ``Network(..., fabric="reference")``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.sim.engine import ClockedComponent, Engine
+from repro.sim.stats import StatsRegistry
+from repro.noc.flit import Flit
+from repro.noc.packet import Packet
+from repro.noc.routing import Coord, Port, dimension_order_route
+
+if TYPE_CHECKING:
+    pass
+
+
+class ReferenceInputVC:
+    """One virtual-channel FIFO of an input port, plus its routing state."""
+
+    __slots__ = ("buffer", "depth", "route_port", "out_vc")
+
+    def __init__(self, depth: int):
+        self.buffer: deque[Flit] = deque()
+        self.depth = depth
+        # Allocated output port / downstream VC for the packet currently
+        # occupying this VC; cleared when its tail flit departs.
+        self.route_port: Optional[Port] = None
+        self.out_vc: Optional[int] = None
+
+    @property
+    def head(self) -> Optional[Flit]:
+        return self.buffer[0] if self.buffer else None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.buffer)
+
+
+class ReferenceInputPort:
+    """Buffered input side of a physical channel (frozen copy)."""
+
+    def __init__(self, num_vcs: int, depth: int):
+        self.vcs = [ReferenceInputVC(depth) for __ in range(num_vcs)]
+        self.depth = depth
+        self.credit_return: Optional[Callable[[int], None]] = None
+        self.owner: Optional["ReferenceRouter"] = None
+
+    def accept(self, flit: Flit, vc: int) -> None:
+        """Deposit a flit into virtual channel ``vc`` (called by the link)."""
+        buffer = self.vcs[vc].buffer
+        if len(buffer) >= self.depth:
+            raise RuntimeError(
+                f"input VC overflow (vc={vc}): credit protocol violated"
+            )
+        buffer.append(flit)
+        owner = self.owner
+        if owner is not None:
+            owner._buffered += 1
+            owner.wake()
+
+
+class ReferenceOutputPort:
+    """Credit-tracking output side of a physical channel (frozen copy)."""
+
+    def __init__(
+        self,
+        port: Port,
+        num_vcs: int,
+        downstream_depth: int,
+        deliver: Callable[[Flit, int], None],
+    ):
+        self.port = port
+        self.num_vcs = num_vcs
+        self.vc_busy = [False] * num_vcs
+        self.credits = [downstream_depth] * num_vcs
+        self.deliver = deliver
+
+    def free_vc(self, preferred: int = 0) -> Optional[int]:
+        """A downstream VC that is unallocated and has buffer space."""
+        for offset in range(self.num_vcs):
+            vc = (preferred + offset) % self.num_vcs
+            if not self.vc_busy[vc] and self.credits[vc] > 0:
+                return vc
+        return None
+
+    def return_credit(self, vc: int) -> None:
+        self.credits[vc] += 1
+
+    def send(self, flit: Flit, vc: int) -> None:
+        """Consume a credit and push the flit onto the link."""
+        if self.credits[vc] <= 0:
+            raise RuntimeError(f"credit underflow on {self.port} vc={vc}")
+        self.credits[vc] -= 1
+        if flit.is_head:
+            self.vc_busy[vc] = True
+        if flit.is_tail:
+            self.vc_busy[vc] = False
+        self.deliver(flit, vc)
+
+
+class ReferenceRouter(ClockedComponent):
+    """The pre-rewrite mesh router: recomputed routes, per-cycle allocation.
+
+    Every ``evaluate`` allocates a fresh grants list, two sets, a port list
+    and its two rotation slices, and recomputes dimension-order routing for
+    each head flit — exactly the behaviour the optimized router must match
+    bit for bit while doing none of that work.
+    """
+
+    def __init__(
+        self,
+        coord: Coord,
+        num_vcs: int = 3,
+        vc_depth: int = 4,
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.coord = coord
+        self.num_vcs = num_vcs
+        self.vc_depth = vc_depth
+        self.stats = stats or StatsRegistry(f"router{coord}")
+        self.input_ports: dict[Port, ReferenceInputPort] = {}
+        self.output_ports: dict[Port, ReferenceOutputPort] = {}
+        # Grants decided in evaluate(), committed in advance():
+        # list of (input_port, vc_index, output_port_obj, out_vc)
+        self._grants: list[tuple[Port, int, ReferenceOutputPort, int]] = []
+        self._rr_offset = 0
+        self._buffered = 0
+        self._forwarded = self.stats.counter(f"router{coord}.flits_forwarded")
+        self._blocked = self.stats.counter(f"router{coord}.cycles_blocked")
+
+    # -- wiring ----------------------------------------------------------
+
+    def add_input_port(self, port: Port) -> ReferenceInputPort:
+        input_port = ReferenceInputPort(self.num_vcs, self.vc_depth)
+        input_port.owner = self
+        self.input_ports[port] = input_port
+        return input_port
+
+    def add_output_port(
+        self,
+        port: Port,
+        downstream_depth: int,
+        deliver: Callable[[Flit, int], None],
+    ) -> ReferenceOutputPort:
+        output_port = ReferenceOutputPort(
+            port, self.num_vcs, downstream_depth, deliver
+        )
+        self.output_ports[port] = output_port
+        return output_port
+
+    @property
+    def ports(self) -> set[Port]:
+        return set(self.input_ports) | set(self.output_ports)
+
+    def buffered_flits(self) -> int:
+        """Total flits resident in this router's input buffers."""
+        return sum(
+            vc.occupancy
+            for input_port in self.input_ports.values()
+            for vc in input_port.vcs
+        )
+
+    def is_idle(self) -> bool:
+        """Idle iff no input VC holds a flit and no grant is pending."""
+        return self._buffered == 0 and not self._grants
+
+    # -- routing ---------------------------------------------------------
+
+    def _route(self, packet: "Packet") -> Port:
+        return dimension_order_route(self.coord, packet.dest, packet.pillar_xy)
+
+    # -- per-cycle operation ----------------------------------------------
+
+    def evaluate(self, cycle: int) -> None:
+        self._grants = []
+        granted_outputs: set[Port] = set()
+        granted_inputs: set[Port] = set()
+        port_list = list(self.input_ports.items())
+        if not port_list:
+            return
+        # Rotate arbitration priority so no input port starves.  Derived
+        # from the cycle number (not a tick count) so the rotation is
+        # identical whether or not idle cycles were skipped.
+        self._rr_offset = (cycle + 1) % len(port_list)
+        ordered = port_list[self._rr_offset:] + port_list[: self._rr_offset]
+        any_blocked = False
+        for port_name, input_port in ordered:
+            if port_name in granted_inputs:
+                continue
+            for vc_index, vc in enumerate(input_port.vcs):
+                head = vc.head
+                if head is None:
+                    continue
+                if head.is_head and vc.route_port is None:
+                    vc.route_port = self._route(head.packet)
+                output_port = self.output_ports.get(vc.route_port)
+                if output_port is None:
+                    raise RuntimeError(
+                        f"router {self.coord}: no output port "
+                        f"{vc.route_port} for {head.packet}"
+                    )
+                if output_port.port in granted_outputs:
+                    any_blocked = True
+                    continue
+                if head.is_head and vc.out_vc is None:
+                    out_vc = output_port.free_vc(preferred=vc_index)
+                    if out_vc is None:
+                        any_blocked = True
+                        continue
+                    vc.out_vc = out_vc
+                if output_port.credits[vc.out_vc] <= 0:
+                    any_blocked = True
+                    continue
+                self._grants.append(
+                    (port_name, vc_index, output_port, vc.out_vc)
+                )
+                granted_outputs.add(output_port.port)
+                granted_inputs.add(port_name)
+                break  # one flit per input port per cycle
+        if any_blocked:
+            self._blocked.increment()
+
+    def advance(self, cycle: int) -> None:
+        for port_name, vc_index, output_port, out_vc in self._grants:
+            input_port = self.input_ports[port_name]
+            vc = input_port.vcs[vc_index]
+            flit = vc.buffer.popleft()
+            self._buffered -= 1
+            if flit.is_tail:
+                vc.route_port = None
+                vc.out_vc = None
+            output_port.send(flit, out_vc)
+            if input_port.credit_return is not None:
+                input_port.credit_return(vc_index)
+            self._forwarded.increment()
+        self._grants = []
+
+
+def reference_connect(
+    engine: Engine,
+    upstream: ReferenceRouter,
+    up_port: Port,
+    downstream: ReferenceRouter,
+    down_port: Port,
+    link_latency: int = 1,
+) -> None:
+    """Frozen link wiring: two heap events + two closures per forwarded flit."""
+    input_port = downstream.add_input_port(down_port)
+
+    def deliver(flit: Flit, vc: int) -> None:
+        engine.schedule(link_latency, lambda: input_port.accept(flit, vc))
+
+    output_port = upstream.add_output_port(
+        up_port, downstream_depth=downstream.vc_depth, deliver=deliver
+    )
+
+    def credit_return(vc: int) -> None:
+        engine.schedule(1, lambda: output_port.return_credit(vc))
+
+    input_port.credit_return = credit_return
+
+
+class ReferenceNetworkInterface(ClockedComponent):
+    """The pre-rewrite NIC: event-scheduled injection link, fresh flits."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        router: ReferenceRouter,
+        on_packet: Optional[Callable[[Packet], None]] = None,
+        stats: Optional[StatsRegistry] = None,
+    ):
+        self.engine = engine
+        self.router = router
+        self.on_packet = on_packet
+        self.stats = stats or StatsRegistry(f"nic{router.coord}")
+        self._inject_queue: deque[Packet] = deque()
+        self._current_flits: deque[Flit] = deque()
+        self._current_vc: Optional[int] = None
+        self._ejected_packets: list[Packet] = []
+        self._latency_hist = self.stats.histogram("nic.packet_latency")
+        self._injected = self.stats.counter("nic.packets_injected")
+        self._received = self.stats.counter("nic.packets_received")
+
+        # Injection path: NIC output -> router LOCAL input.
+        local_input = router.add_input_port(Port.LOCAL)
+
+        def deliver(flit: Flit, vc: int) -> None:
+            engine.schedule(1, lambda: local_input.accept(flit, vc))
+
+        self._output = ReferenceOutputPort(
+            Port.LOCAL, router.num_vcs, router.vc_depth, deliver
+        )
+
+        def credit_return(vc: int) -> None:
+            engine.schedule(1, lambda: self._output.return_credit(vc))
+
+        local_input.credit_return = credit_return
+
+        # Ejection path: router LOCAL output -> NIC sink (always accepts).
+        router.add_output_port(
+            Port.LOCAL, downstream_depth=1_000_000, deliver=self._eject
+        )
+
+    # -- injection --------------------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Queue a packet for transmission; latency clock starts now."""
+        packet.created_cycle = self.engine.cycle
+        self._inject_queue.append(packet)
+        self.wake()
+
+    @property
+    def pending_injections(self) -> int:
+        return len(self._inject_queue) + len(self._current_flits)
+
+    def is_idle(self) -> bool:
+        return not self._current_flits and not self._inject_queue
+
+    def evaluate(self, cycle: int) -> None:
+        pass
+
+    def advance(self, cycle: int) -> None:
+        if not self._current_flits:
+            if not self._inject_queue:
+                return
+            vc = self._output.free_vc()
+            if vc is None:
+                return
+            packet = self._inject_queue.popleft()
+            packet.injected_cycle = cycle
+            self._current_flits = deque(packet.make_flits())
+            self._current_vc = vc
+            self._injected.increment()
+        if self._output.credits[self._current_vc] > 0:
+            flit = self._current_flits.popleft()
+            flit.injected_cycle = cycle
+            self._output.send(flit, self._current_vc)
+            if not self._current_flits:
+                self._current_vc = None
+
+    # -- ejection ---------------------------------------------------------
+
+    def _eject(self, flit: Flit, vc: int) -> None:
+        if flit.is_tail:
+            packet = flit.packet
+            packet.ejected_cycle = self.engine.cycle
+            self._received.increment()
+            if packet.latency is not None:
+                self._latency_hist.add(packet.latency)
+            self._ejected_packets.append(packet)
+            if self.on_packet is not None:
+                self.on_packet(packet)
+
+    def drain_ejected(self) -> list[Packet]:
+        """Return and clear the list of completed packets."""
+        packets, self._ejected_packets = self._ejected_packets, []
+        return packets

@@ -12,17 +12,29 @@ free downstream VC; body/tail flits inherit it; the tail flit releases it.
 
 The two-phase engine contract: ``evaluate`` performs all arbitration against
 the state committed last cycle, ``advance`` moves the granted flits.
+
+Hot path
+--------
+
+``evaluate``/``advance`` run once per router per loaded cycle, so they are
+written allocation-free: routes are memoized per ``(dest, pillar_xy)`` in a
+route table, the rotated arbitration orders are precomputed (invalidated
+when a port is added), granted-output tracking is an int bitmask, and the
+grant list is a flat reused buffer.  The behaviour is bit-identical to the
+frozen naive implementation in :mod:`repro.noc.reference`, which
+``tests/integration/test_noc_differential.py`` asserts end to end.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from repro.sim.engine import ClockedComponent, Engine
 from repro.sim.stats import StatsRegistry
 from repro.noc.flit import Flit
-from repro.noc.routing import Coord, Port, dimension_order_route
+from repro.noc.link import CreditPipeline, LinkPipeline
+from repro.noc.routing import Coord, PORT_INDEX, Port, dimension_order_route
 
 if TYPE_CHECKING:
     from repro.noc.packet import Packet
@@ -31,15 +43,18 @@ if TYPE_CHECKING:
 class InputVC:
     """One virtual-channel FIFO of an input port, plus its routing state."""
 
-    __slots__ = ("buffer", "depth", "route_port", "out_vc")
+    __slots__ = ("buffer", "depth", "route_port", "out_vc", "out_port")
 
     def __init__(self, depth: int):
         self.buffer: deque[Flit] = deque()
         self.depth = depth
         # Allocated output port / downstream VC for the packet currently
-        # occupying this VC; cleared when its tail flit departs.
+        # occupying this VC; cleared when its tail flit departs.  out_port
+        # caches the resolved OutputPort object for route_port so body
+        # flits skip the dict lookup.
         self.route_port: Optional[Port] = None
         self.out_vc: Optional[int] = None
+        self.out_port: Optional["OutputPort"] = None
 
     @property
     def head(self) -> Optional[Flit]:
@@ -76,6 +91,7 @@ class InputPort:
         owner = self.owner
         if owner is not None:
             owner._buffered += 1
+            owner._eval_cached = False
             owner.wake()
 
 
@@ -99,17 +115,32 @@ class OutputPort:
         self.vc_busy = [False] * num_vcs
         self.credits = [downstream_depth] * num_vcs
         self.deliver = deliver
+        # Bit identifying this port in the router's granted-output mask.
+        self.out_bit = 1 << PORT_INDEX[port]
+        # The router transmitting through this port; a returning credit
+        # changes what its next evaluate can grant, so it must drop the
+        # blocked-evaluate cache.
+        self.owner: Optional["Router"] = None
 
     def free_vc(self, preferred: int = 0) -> Optional[int]:
         """A downstream VC that is unallocated and has buffer space."""
-        for offset in range(self.num_vcs):
-            vc = (preferred + offset) % self.num_vcs
-            if not self.vc_busy[vc] and self.credits[vc] > 0:
+        vc_busy = self.vc_busy
+        credits = self.credits
+        num_vcs = self.num_vcs
+        vc = preferred % num_vcs
+        for __ in range(num_vcs):
+            if not vc_busy[vc] and credits[vc] > 0:
                 return vc
+            vc += 1
+            if vc == num_vcs:
+                vc = 0
         return None
 
     def return_credit(self, vc: int) -> None:
         self.credits[vc] += 1
+        owner = self.owner
+        if owner is not None:
+            owner._eval_cached = False
 
     def send(self, flit: Flit, vc: int) -> None:
         """Consume a credit and push the flit onto the link."""
@@ -145,10 +176,26 @@ class Router(ClockedComponent):
         self.stats = stats or StatsRegistry(f"router{coord}")
         self.input_ports: dict[Port, InputPort] = {}
         self.output_ports: dict[Port, OutputPort] = {}
-        # Grants decided in evaluate(), committed in advance():
-        # list of (input_port, vc_index, output_port_obj, out_vc)
-        self._grants: list[tuple[Port, int, OutputPort, int]] = []
+        # Grants decided in evaluate(), committed in advance(): a flat
+        # reused list of (input_port, vc, vc_index, output_port, out_vc)
+        # records, five slots per grant.
+        self._grants: list[Any] = []
         self._rr_offset = 0
+        # Memoized dimension_order_route results, and the precomputed
+        # arbitration rotations (one tuple of (port, InputPort, enumerated
+        # VCs) per round-robin offset; rebuilt when a port is added).
+        self._route_table: dict[
+            tuple[Coord, Optional[tuple[int, int]]], Port
+        ] = {}
+        self._orders: Optional[list[tuple]] = None
+        # Blocked-evaluate cache: True when the previous evaluate granted
+        # nothing and no flit arrival / credit return / port change has
+        # happened since.  Arbitration inputs are then bit-identical, and
+        # with an empty grant mask the round-robin rotation cannot affect
+        # any VC's outcome, so the whole scan can be skipped and only the
+        # cached blocked-counter increment replayed.
+        self._eval_cached = False
+        self._cached_blocked = False
         # Running count of input-buffered flits, maintained by
         # InputPort.accept / advance so is_idle() is O(1).
         self._buffered = 0
@@ -161,6 +208,8 @@ class Router(ClockedComponent):
         input_port = InputPort(self.num_vcs, self.vc_depth)
         input_port.owner = self
         self.input_ports[port] = input_port
+        self._orders = None
+        self._eval_cached = False
         return input_port
 
     def add_output_port(
@@ -170,7 +219,9 @@ class Router(ClockedComponent):
         deliver: Callable[[Flit, int], None],
     ) -> OutputPort:
         output_port = OutputPort(port, self.num_vcs, downstream_depth, deliver)
+        output_port.owner = self
         self.output_ports[port] = output_port
+        self._eval_cached = False
         return output_port
 
     @property
@@ -192,73 +243,135 @@ class Router(ClockedComponent):
     # -- routing ---------------------------------------------------------
 
     def _route(self, packet: "Packet") -> Port:
-        return dimension_order_route(self.coord, packet.dest, packet.pillar_xy)
+        """Route ``packet``, memoized per (dest, pillar) in the route table."""
+        key = (packet.dest, packet.pillar_xy)
+        port = self._route_table.get(key)
+        if port is None:
+            port = dimension_order_route(
+                self.coord, packet.dest, packet.pillar_xy
+            )
+            self._route_table[key] = port
+        return port
+
+    def _build_orders(self) -> Optional[list[tuple]]:
+        entries = [
+            (input_port, tuple(enumerate(input_port.vcs)))
+            for input_port in self.input_ports.values()
+        ]
+        if not entries:
+            return None
+        self._orders = [
+            tuple(entries[offset:] + entries[:offset])
+            for offset in range(len(entries))
+        ]
+        return self._orders
 
     # -- per-cycle operation ----------------------------------------------
 
     def evaluate(self, cycle: int) -> None:
-        self._grants = []
-        granted_outputs: set[Port] = set()
-        granted_inputs: set[Port] = set()
-        port_list = list(self.input_ports.items())
-        if not port_list:
+        if self._eval_cached:
+            # Bit-identical replay of the previous zero-grant evaluate.
+            if self._cached_blocked:
+                self._blocked.increment()
             return
+        grants = self._grants
+        del grants[:]
+        orders = self._orders
+        if orders is None:
+            orders = self._build_orders()
+            if orders is None:
+                return
         # Rotate arbitration priority so no input port starves.  Derived
         # from the cycle number (not a tick count) so the rotation is
         # identical whether or not idle cycles were skipped.
-        self._rr_offset = (cycle + 1) % len(port_list)
-        ordered = port_list[self._rr_offset:] + port_list[: self._rr_offset]
+        offset = (cycle + 1) % len(orders)
+        self._rr_offset = offset
+        granted_mask = 0
         any_blocked = False
-        for port_name, input_port in ordered:
-            if port_name in granted_inputs:
-                continue
-            for vc_index, vc in enumerate(input_port.vcs):
-                head = vc.head
-                if head is None:
+        output_ports = self.output_ports
+        route_table = self._route_table
+        for input_port, vcs in orders[offset]:
+            for vc_index, vc in vcs:
+                buffer = vc.buffer
+                if not buffer:
                     continue
-                if head.is_head and vc.route_port is None:
-                    vc.route_port = self._route(head.packet)
-                output_port = self.output_ports.get(vc.route_port)
-                if output_port is None:
-                    raise RuntimeError(
-                        f"router {self.coord}: no output port "
-                        f"{vc.route_port} for {head.packet}"
-                    )
-                if output_port.port in granted_outputs:
+                head = buffer[0]
+                out_port = vc.out_port
+                if out_port is None:
+                    if head.is_head and vc.route_port is None:
+                        packet = head.packet
+                        key = (packet.dest, packet.pillar_xy)
+                        route_port = route_table.get(key)
+                        if route_port is None:
+                            route_port = dimension_order_route(
+                                self.coord, packet.dest, packet.pillar_xy
+                            )
+                            route_table[key] = route_port
+                        vc.route_port = route_port
+                    out_port = output_ports.get(vc.route_port)
+                    if out_port is None:
+                        raise RuntimeError(
+                            f"router {self.coord}: no output port "
+                            f"{vc.route_port} for {head.packet}"
+                        )
+                    vc.out_port = out_port
+                if granted_mask & out_port.out_bit:
                     any_blocked = True
                     continue
-                if head.is_head and vc.out_vc is None:
-                    out_vc = output_port.free_vc(preferred=vc_index)
-                    if out_vc is None:
+                out_vc = vc.out_vc
+                if out_vc is None and head.is_head:
+                    # Inlined OutputPort.free_vc(preferred=vc_index): this
+                    # runs every cycle a head flit waits for a downstream
+                    # VC, which under load is most VCs most cycles.
+                    vc_busy = out_port.vc_busy
+                    credits = out_port.credits
+                    num_vcs = out_port.num_vcs
+                    candidate = vc_index
+                    for __ in range(num_vcs):
+                        if not vc_busy[candidate] and credits[candidate] > 0:
+                            out_vc = vc.out_vc = candidate
+                            break
+                        candidate += 1
+                        if candidate == num_vcs:
+                            candidate = 0
+                    else:
                         any_blocked = True
                         continue
-                    vc.out_vc = out_vc
-                if output_port.credits[vc.out_vc] <= 0:
+                if out_port.credits[out_vc] <= 0:
                     any_blocked = True
                     continue
-                self._grants.append(
-                    (port_name, vc_index, output_port, vc.out_vc)
-                )
-                granted_outputs.add(output_port.port)
-                granted_inputs.add(port_name)
+                grants.append(input_port)
+                grants.append(vc)
+                grants.append(vc_index)
+                grants.append(out_port)
+                grants.append(out_vc)
+                granted_mask |= out_port.out_bit
                 break  # one flit per input port per cycle
         if any_blocked:
             self._blocked.increment()
+        if not grants:
+            self._eval_cached = True
+            self._cached_blocked = any_blocked
 
     def advance(self, cycle: int) -> None:
-        for port_name, vc_index, output_port, out_vc in self._grants:
-            input_port = self.input_ports[port_name]
-            vc = input_port.vcs[vc_index]
+        grants = self._grants
+        if not grants:
+            return
+        for i in range(0, len(grants), 5):
+            vc = grants[i + 1]
             flit = vc.buffer.popleft()
-            self._buffered -= 1
             if flit.is_tail:
                 vc.route_port = None
                 vc.out_vc = None
-            output_port.send(flit, out_vc)
-            if input_port.credit_return is not None:
-                input_port.credit_return(vc_index)
-            self._forwarded.increment()
-        self._grants = []
+                vc.out_port = None
+            grants[i + 3].send(flit, grants[i + 4])
+            credit_return = grants[i].credit_return
+            if credit_return is not None:
+                credit_return(grants[i + 2])
+        count = len(grants) // 5
+        self._buffered -= count
+        self._forwarded.increment(count)
+        del grants[:]
 
 
 def connect(
@@ -268,23 +381,42 @@ def connect(
     downstream: Router,
     down_port: Port,
     link_latency: int = 1,
+    pipeline: Optional[LinkPipeline] = None,
 ) -> None:
     """Wire ``upstream``'s ``up_port`` output to ``downstream``'s input.
 
     Creates the output port on the upstream router and the input port on the
     downstream one, with a link of ``link_latency`` cycles and a one-cycle
     credit return path.
+
+    One-cycle links deposit directly into the downstream buffer during the
+    sender's ``advance`` — timing-equivalent to the event the naive fabric
+    schedules, because the downstream router next arbitrates in the
+    following cycle either way and the credit invariant rules out overflow.
+    Longer links ride ``pipeline`` (a network-shared :class:`LinkPipeline`;
+    a private one is created and registered when none is given).
     """
     input_port = downstream.add_input_port(down_port)
 
-    def deliver(flit: Flit, vc: int) -> None:
-        engine.schedule(link_latency, lambda: input_port.accept(flit, vc))
+    if link_latency <= 1:
+        deliver = input_port.accept
+    else:
+        if pipeline is None:
+            pipeline = LinkPipeline(engine, link_latency)
+            engine.register(pipeline)
+        else:
+            pipeline.reserve(link_latency)
+
+        def deliver(
+            flit: Flit,
+            vc: int,
+            _send=pipeline.send,
+            _sink=input_port.accept,
+            _latency=link_latency,
+        ) -> None:
+            _send(_sink, flit, vc, _latency)
 
     output_port = upstream.add_output_port(
         up_port, downstream_depth=downstream.vc_depth, deliver=deliver
     )
-
-    def credit_return(vc: int) -> None:
-        engine.schedule(1, lambda: output_port.return_credit(vc))
-
-    input_port.credit_return = credit_return
+    input_port.credit_return = CreditPipeline(engine, output_port.return_credit)

@@ -44,6 +44,10 @@ class Port(enum.Enum):
     VERTICAL = "vertical"
 
 
+# Stable small-integer index per port, for bitmask arbitration state in the
+# router's allocation-free evaluate loop.
+PORT_INDEX = {port: index for index, port in enumerate(Port)}
+
 # Direction a flit leaving via a port arrives on at the neighbouring router.
 OPPOSITE_PORT = {
     Port.NORTH: Port.SOUTH,

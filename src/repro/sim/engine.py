@@ -144,7 +144,11 @@ class Engine:
         self.name = name
         self.cycle = 0
         self.activity_tracking = activity_tracking
-        self._components: list[ClockedComponent] = []
+        # Ordered set of registered components.  A dict preserves the
+        # registration order the naive kernel ticks in while giving O(1)
+        # unregister (the index-map/swap-pop alternative would reorder the
+        # naive tick sequence on removal).
+        self._components: dict[ClockedComponent, None] = {}
         self._active: set[ClockedComponent] = set()
         # Cached registration-ordered view of the active set; rebuilt only
         # when membership changes (most cycles it does not).
@@ -152,6 +156,14 @@ class Engine:
         self._event_heap: list[tuple[int, int, Event]] = []
         self._sequence = itertools.count()
         self._index_counter = itertools.count()
+        # Posted callbacks: the allocation-free fast path for the ubiquitous
+        # schedule(1, ...) pattern (credit returns).  Parallel fn/arg lists
+        # avoid a tuple per post; the spare pair is swapped in while the
+        # current batch drains so reentrant posts land in the next step.
+        self._post_fns: list[Callable[[Any], None]] = []
+        self._post_args: list[Any] = []
+        self._spare_post_fns: list[Callable[[Any], None]] = []
+        self._spare_post_args: list[Any] = []
         self._stop_requested = False
         # Work accounting, for benchmarks and the differential tests:
         # component-cycles actually ticked, and cycles jumped over.
@@ -174,19 +186,24 @@ class Engine:
             )
         component._engine = self
         component._engine_index = next(self._index_counter)
-        self._components.append(component)
+        self._components[component] = None
         self._active.add(component)
         self._active_order = None
         return component
 
     def unregister(self, component: ClockedComponent) -> None:
-        """Remove a previously registered component.
+        """Remove a previously registered component in O(1).
 
         Safe to call from inside ``evaluate``/``advance``: the component is
         skipped for the remaining phases of the current cycle instead of
-        corrupting the in-flight iteration.
+        corrupting the in-flight iteration.  Raises :class:`ValueError`
+        naming the component if it was never registered here.
         """
-        self._components.remove(component)
+        if component._engine is not self or component not in self._components:
+            raise ValueError(
+                f"{component!r} is not registered with engine {self.name!r}"
+            )
+        del self._components[component]
         if component in self._active:
             self._active.discard(component)
             self._active_order = None
@@ -220,6 +237,17 @@ class Engine:
         heapq.heappush(self._event_heap, (event.cycle, next(self._sequence), event))
         return event
 
+    def post(self, fn: Callable[[Any], None], arg: Any) -> None:
+        """Run ``fn(arg)`` at the top of the next :meth:`step` call.
+
+        Equivalent in timing to ``schedule(1, lambda: fn(arg))`` — the
+        callback fires before any component evaluates in the next executed
+        cycle — but without the closure, Event object, or heap push.  This
+        is the hot-path mechanism for one-cycle-delayed credit returns.
+        """
+        self._post_fns.append(fn)
+        self._post_args.append(arg)
+
     def stop(self) -> None:
         """Request that :meth:`run` return after the current cycle."""
         self._stop_requested = True
@@ -247,6 +275,16 @@ class Engine:
     def step(self) -> None:
         """Advance the simulation by exactly one cycle."""
         cycle = self.cycle
+        if self._post_fns:
+            fns, args = self._post_fns, self._post_args
+            self._post_fns, self._post_args = (
+                self._spare_post_fns, self._spare_post_args
+            )
+            for i in range(len(fns)):
+                fns[i](args[i])
+            fns.clear()
+            args.clear()
+            self._spare_post_fns, self._spare_post_args = fns, args
         while self._event_heap and self._event_heap[0][0] <= cycle:
             __, __, event = heapq.heappop(self._event_heap)
             if not event.cancelled:
@@ -281,7 +319,14 @@ class Engine:
         clock moves straight to it (or by ``max_skip`` if the event queue
         is empty too).
         """
-        if not self.activity_tracking or self._active or max_skip <= 0:
+        if (
+            not self.activity_tracking
+            or self._active
+            or self._post_fns
+            or max_skip <= 0
+        ):
+            # Pending posts pin the clock: they fire in the next executed
+            # step, exactly like an event scheduled at cycle + 1 would.
             return 0
         next_event = self.peek_next_event_cycle()
         if next_event is None:

@@ -366,3 +366,114 @@ def test_flush_idle_stats_called_at_end_of_run():
     engine.register(Flusher())
     engine.run(50)
     assert flushed == [50]
+
+
+# -- post queue (hot-path credit returns) -----------------------------------
+
+
+def test_post_runs_at_top_of_next_step():
+    engine = Engine()
+    order = []
+
+    class Poster(ClockedComponent):
+        def __init__(self):
+            self.done = False
+
+        def evaluate(self, cycle):
+            order.append(f"eval@{cycle}")
+
+        def advance(self, cycle):
+            if not self.done:
+                self.done = True
+                engine.post(order.append, "posted")
+
+    engine.register(Poster())
+    engine.run(2)
+    # Posted during advance(0); applied before evaluate(1), like a
+    # schedule(1, ...) event — never within the posting cycle.
+    assert order == ["eval@0", "posted", "eval@1"]
+
+
+def test_post_fires_before_events_of_same_step():
+    engine = Engine()
+    order = []
+    engine.schedule(1, lambda: order.append("event"))
+    engine.post(order.append, "posted")
+    engine.run(2)
+    assert order == ["posted", "event"]
+
+
+def test_post_during_post_drains_next_step():
+    engine = Engine()
+    seen = []
+
+    def reposter(value):
+        seen.append((value, engine.cycle))
+        if value == "first":
+            engine.post(reposter, "second")
+
+    engine.post(reposter, "first")
+    engine.run(3)
+    assert seen == [("first", 0), ("second", 1)]
+
+
+def test_pending_post_blocks_fast_forward():
+    engine = Engine(activity_tracking=True)
+    fired = []
+    engine.post(lambda __: fired.append(engine.cycle), None)
+    engine.run(10)
+    # The post pins cycle 0 (no skip), then the remaining window is idle.
+    assert fired == [0]
+    assert engine.cycle == 10
+    assert engine.fast_forwarded_cycles == 9
+
+
+# -- O(1) unregister --------------------------------------------------------
+
+
+def test_unregister_never_registered_raises():
+    engine = Engine()
+    stray = Recorder()
+    with pytest.raises(ValueError, match="not registered"):
+        engine.unregister(stray)
+
+
+def test_unregister_from_other_engine_raises():
+    first = Engine("first")
+    second = Engine("second")
+    recorder = Recorder()
+    first.register(recorder)
+    with pytest.raises(ValueError, match="not registered with engine 'second'"):
+        second.unregister(recorder)
+    # Still registered with (and tickable by) the original engine.
+    first.run(1)
+    assert recorder.evaluated == [0]
+
+
+def test_unregister_preserves_naive_tick_order():
+    engine = Engine(activity_tracking=False)
+    order = []
+
+    class Tagged(ClockedComponent):
+        def __init__(self, tag):
+            self.tag = tag
+
+        def evaluate(self, cycle):
+            order.append(self.tag)
+
+    components = [Tagged(tag) for tag in "abcd"]
+    for component in components:
+        engine.register(component)
+    engine.unregister(components[1])  # remove "b" from the middle
+    engine.step()
+    assert order == ["a", "c", "d"]
+
+
+def test_reregister_after_unregister():
+    engine = Engine()
+    recorder = Recorder()
+    engine.register(recorder)
+    engine.unregister(recorder)
+    engine.register(recorder)
+    engine.run(1)
+    assert recorder.evaluated == [0]

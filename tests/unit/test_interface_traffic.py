@@ -163,3 +163,60 @@ class TestTrafficGenerators:
         generator = TransposeTraffic(network, 0.0, seed=3)
         dest = generator.pick_destination(Coord(1, 3, 0))
         assert dest == Coord(3, 1, 0)
+
+
+class TestIdScopesAndPooling:
+    def test_id_scope_restarts_per_scope(self):
+        from repro.noc.flit import IdScope
+
+        first = IdScope()
+        second = IdScope()
+        a = Packet(Coord(0, 0, 0), Coord(1, 0, 0), ids=first)
+        b = Packet(Coord(0, 0, 0), Coord(1, 0, 0), ids=second)
+        assert a.packet_id == b.packet_id == 0
+        assert [f.flit_id for f in a.make_flits()] == [0, 1, 2, 3]
+        assert [f.flit_id for f in b.make_flits()] == [0, 1, 2, 3]
+
+    def test_default_scope_shared_by_loose_packets(self):
+        a = Packet(Coord(0, 0, 0), Coord(1, 0, 0))
+        b = Packet(Coord(0, 0, 0), Coord(1, 0, 0))
+        assert b.packet_id == a.packet_id + 1
+
+    def test_flit_pool_recycles_objects_with_fresh_state(self):
+        from repro.noc.flit import IdScope
+        from repro.noc.packet import FlitPool
+
+        pool = FlitPool()
+        ids = IdScope()
+        first = Packet(Coord(0, 0, 0), Coord(1, 0, 0), ids=ids)
+        flits = first.make_flits(pool)
+        originals = set(map(id, flits))
+        for flit in flits:
+            flit.injected_cycle = 99
+            pool.release(flit)
+        assert len(pool) == 4
+        second = Packet(Coord(2, 0, 0), Coord(3, 0, 0), ids=ids)
+        recycled = second.make_flits(pool)
+        assert set(map(id, recycled)) == originals  # same objects reused
+        assert len(pool) == 0
+        assert [f.flit_id for f in recycled] == [4, 5, 6, 7]
+        assert all(f.packet is second for f in recycled)
+        assert all(f.injected_cycle is None for f in recycled)
+        assert recycled[0].is_head and recycled[-1].is_tail
+        assert not recycled[1].is_head and not recycled[1].is_tail
+
+    def test_pooled_and_unpooled_segmentation_identical(self):
+        from repro.noc.flit import IdScope
+        from repro.noc.packet import FlitPool
+
+        def describe(flits):
+            return [
+                (f.flit_type, f.index, f.flit_id, f.is_head, f.is_tail)
+                for f in flits
+            ]
+
+        plain = Packet(Coord(0, 0, 0), Coord(1, 0, 0), ids=IdScope())
+        pooled = Packet(Coord(0, 0, 0), Coord(1, 0, 0), ids=IdScope())
+        assert describe(plain.make_flits()) == describe(
+            pooled.make_flits(FlitPool())
+        )

@@ -142,3 +142,133 @@ def test_output_port_free_vc_prefers_requested():
     assert output.free_vc(preferred=1) == 1
     output.vc_busy[1] = True
     assert output.free_vc(preferred=1) == 2
+
+
+# -- hot-path structures ----------------------------------------------------
+
+
+def test_route_table_memoizes_routes():
+    engine = Engine()
+    up, down = make_pair(engine)
+    drain_sink(down)
+    dest = Coord(1, 0, 0)
+    inject(up, Packet(Coord(0, 0, 0), dest, size_flits=1))
+    engine.run(5)
+    assert up._route_table == {(dest, None): Port.EAST}
+    # The memo is authoritative: poison it and the next head flit to the
+    # same destination follows the poisoned route, proving no recompute.
+    up._route_table[(dest, None)] = Port.LOCAL
+    received = drain_sink(up, port=Port.LOCAL)
+    inject(up, Packet(Coord(0, 0, 0), dest, size_flits=1))
+    engine.run(5)
+    assert len(received) == 1
+
+
+def test_port_order_cache_invalidated_by_new_input_port():
+    engine = Engine()
+    up, down = make_pair(engine)
+    received = drain_sink(down)
+    # First evaluate builds the arbitration orders from the LOCAL port...
+    inject(up, Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=1))
+    engine.run(10)
+    assert len(received) == 1
+    # ...then a port added later must re-enter the cached rotation.
+    inject(
+        up,
+        Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=1),
+        port=Port.SOUTH,
+    )
+    engine.run(10)
+    assert len(received) == 2
+
+
+def test_link_pipeline_credit_round_trip():
+    engine = Engine()
+    up, down = make_pair(engine, link_latency=3)
+    received = drain_sink(down)
+    output = up.output_ports[Port.EAST]
+    inject(up, Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=4))
+    engine.run(5)
+    # Mid-flight: some credits are consumed.
+    assert sum(output.credits) < 3 * up.vc_depth
+    engine.run(40)
+    assert len(received) == 4
+    # Fully drained: every consumed credit made the round trip back.
+    assert output.credits == [up.vc_depth] * up.num_vcs
+    assert all(not busy for busy in output.vc_busy)
+
+
+def test_shared_link_pipeline_carries_multiple_links():
+    from repro.noc.link import LinkPipeline
+
+    engine = Engine()
+    pipeline = LinkPipeline(engine, max_latency=2)
+    engine.register(pipeline)
+    a = Router(Coord(0, 0, 0))
+    b = Router(Coord(1, 0, 0))
+    c = Router(Coord(1, 1, 0))
+    for router in (a, b, c):
+        engine.register(router)
+    connect(engine, a, Port.EAST, b, Port.WEST, 2, pipeline=pipeline)
+    connect(engine, b, Port.NORTH, c, Port.SOUTH, 2, pipeline=pipeline)
+    received = drain_sink(c)
+    inject(a, Packet(Coord(0, 0, 0), Coord(1, 1, 0), size_flits=4))
+    engine.run(40)
+    assert len(received) == 4
+    assert pipeline.is_idle()
+    assert pipeline.flits_carried == 8  # four flits over each of two hops
+
+
+def test_link_pipeline_rejects_short_latency_and_live_growth():
+    from repro.noc.link import LinkPipeline
+
+    engine = Engine()
+    pipeline = LinkPipeline(engine, max_latency=2)
+    engine.register(pipeline)
+    with pytest.raises(ValueError, match="latency >= 2"):
+        pipeline.reserve(1)
+    pipeline.send(lambda f, v: None, object(), 0, 2)
+    with pytest.raises(RuntimeError, match="in flight"):
+        pipeline.reserve(9)
+
+
+def test_credit_pipeline_delays_one_cycle():
+    from repro.noc.link import CreditPipeline
+    from repro.noc.router import OutputPort
+
+    engine = Engine()
+    output = OutputPort(Port.EAST, 1, 1, deliver=lambda f, v: None)
+    credit_return = CreditPipeline(engine, output.return_credit)
+    packet = Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=1)
+    output.send(packet.make_flits()[0], 0)
+    assert output.credits == [0]
+    credit_return(0)
+    # Not yet applied: posts run at the top of the next step.
+    assert output.credits == [0]
+    engine.step()
+    assert output.credits == [1]
+
+
+def test_blocked_evaluate_cache_invalidated_by_credit_return():
+    engine = Engine()
+    up, down = make_pair(engine)
+    received = drain_sink(down)
+    # Choke the downstream: its LOCAL output exists but WEST input fills.
+    down.add_output_port(Port.LOCAL, 4, deliver=lambda f, v: None)
+    for vc in range(3):
+        inject(up, Packet(Coord(0, 0, 0), Coord(1, 0, 0), size_flits=4), vc=vc)
+    engine.run(10)
+    blocked_before = up.stats.counter(
+        f"router{Coord(0, 0, 0)}.flits_forwarded"
+    ).value
+    # Unchoke by draining the downstream LOCAL port for real.
+    down.output_ports[Port.LOCAL].deliver = lambda f, v: received.append(f)
+    down.output_ports[Port.LOCAL].credits = [10**6] * 3
+    down.output_ports[Port.LOCAL].vc_busy = [False] * 3
+    engine.run(60)
+    forwarded_after = up.stats.counter(
+        f"router{Coord(0, 0, 0)}.flits_forwarded"
+    ).value
+    # Credits flowing back re-dirtied the upstream's cached blocked state,
+    # so it resumed granting rather than replaying "blocked" forever.
+    assert forwarded_after == 12 > blocked_before
