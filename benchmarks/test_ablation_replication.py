@@ -45,8 +45,8 @@ def run_policies():
         results[label] = {
             "local_hits": local_hits,
             "migrations": nuca.migrations,
-            "replica_invals": nuca.stats.counter(
-                "l2.replica_invalidations"
+            "replica_invals": nuca.stats.scope("l2").counter(
+                "replica_invalidations"
             ).value,
         }
     return results

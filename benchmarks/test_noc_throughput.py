@@ -59,10 +59,10 @@ def _measure(fabric: str, rate: float) -> dict:
         "cycles_per_sec": CYCLES / elapsed,
         "wall_seconds": elapsed,
         "packets_sent": generator.packets_sent,
-        "packets_received": stats.counter("nic.packets_received").value,
+        "packets_received": stats.scope("nic").counter("packets_received").value,
         "in_flight": network.in_flight,
         "final_cycle": engine.cycle,
-        "mean_latency": stats.histogram("nic.packet_latency").mean,
+        "mean_latency": stats.scope("nic").histogram("packet_latency").mean,
     }
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
 from repro.noc.routing import Coord
 from repro.core.chip import ChipTopology
 from repro.cache.addressing import AddressMap, DecodedAddress
@@ -57,13 +58,21 @@ class NucaL2:
         topology: ChipTopology,
         migration_config: Optional[MigrationConfig] = None,
         stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.topology = topology
         self.config = topology.config
         self.addr_map = AddressMap(self.config)
-        self.search = SearchPolicy(topology)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.search = SearchPolicy(topology, tracer=self.tracer)
         self.migration = MigrationPolicy(topology, migration_config)
         self.stats = stats or StatsRegistry("l2")
+        # One trace track per bank cluster: search steps land on the
+        # cluster that answered, migrations on the cluster the line leaves.
+        self._tracks = [
+            self.tracer.track(f"cluster.{cluster.index}")
+            for cluster in topology.clusters
+        ]
         self.clusters = [
             ClusterStore(
                 cluster.index, self.config.sets_per_cluster,
@@ -74,14 +83,15 @@ class NucaL2:
         # Ground truth: line address -> cluster index currently holding it.
         self._location: dict[int, int] = {}
 
-        self._hits = self.stats.counter("l2.hits")
-        self._misses = self.stats.counter("l2.misses")
-        self._hits_step1 = self.stats.counter("l2.hits_step1")
-        self._hits_local = self.stats.counter("l2.hits_local_cluster")
-        self._hits_step2 = self.stats.counter("l2.hits_step2")
-        self._migrations = self.stats.counter("l2.migrations")
-        self._swaps = self.stats.counter("l2.migration_swaps")
-        self._evictions = self.stats.counter("l2.evictions")
+        scope = self.stats.scope("l2")
+        self._hits = scope.counter("hits")
+        self._misses = scope.counter("misses")
+        self._hits_step1 = scope.counter("hits_step1")
+        self._hits_local = scope.counter("hits_local_cluster")
+        self._hits_step2 = scope.counter("hits_step2")
+        self._migrations = scope.counter("migrations")
+        self._swaps = scope.counter("migration_swaps")
+        self._evictions = scope.counter("evictions")
 
     # -- geometry helpers --------------------------------------------------------
 
@@ -156,6 +166,16 @@ class NucaL2:
 
         plan = self.search.plan(cpu_id)
         step = plan.step_of(cluster_index)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.cache_search(
+                cycle,
+                self._tracks[cluster_index],
+                cpu_id,
+                decoded.line_address,
+                step,
+                True,
+            )
         self._hits.increment()
         if step == 1:
             self._hits_step1.increment()
@@ -176,6 +196,14 @@ class NucaL2:
                 entry.begin_migration(target, cycle + transfer)
                 migration = (cluster_index, target)
                 self._migrations.increment()
+                if tracer.enabled:
+                    tracer.migration(
+                        cycle,
+                        self._tracks[cluster_index],
+                        decoded.line_address,
+                        cluster_index,
+                        target,
+                    )
 
         return AccessOutcome(
             address=decoded.address,
@@ -200,6 +228,16 @@ class NucaL2:
         """Placement policy: the home cluster's set, evicting by pseudo-LRU."""
         self._misses.increment()
         home = decoded.home_cluster
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.cache_search(
+                cycle,
+                self._tracks[home],
+                cpu_id,
+                decoded.line_address,
+                2,
+                False,
+            )
         store = self.clusters[home]
         entry = LineEntry(tag=decoded.tag, index=decoded.index)
         entry.touch(cpu_id)

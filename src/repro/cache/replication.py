@@ -60,20 +60,23 @@ class ReplicatingNucaL2(NucaL2):
         replication: Optional[ReplicationConfig] = None,
         migration_config: Optional[MigrationConfig] = None,
         stats: Optional[StatsRegistry] = None,
+        tracer=None,
     ):
         super().__init__(
             topology,
             migration_config or MigrationConfig(enabled=False),
             stats=stats,
+            tracer=tracer,
         )
         self.replication = replication or ReplicationConfig()
         # line address -> {cluster index holding a replica}
         self._replicas: dict[int, set[int]] = {}
         # (line address, cpu) remote-reuse counters
         self._remote_reads: dict[tuple[int, int], int] = {}
-        self._replicas_made = self.stats.counter("l2.replicas_created")
-        self._replica_hits = self.stats.counter("l2.replica_hits")
-        self._replica_invals = self.stats.counter("l2.replica_invalidations")
+        scope = self.stats.scope("l2")
+        self._replicas_made = scope.counter("replicas_created")
+        self._replica_hits = scope.counter("replica_hits")
+        self._replica_invals = scope.counter("replica_invalidations")
 
     # -- queries ---------------------------------------------------------
 

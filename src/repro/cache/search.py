@@ -12,8 +12,10 @@ cluster.  A miss everywhere is an L2 miss.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.chip import ChipTopology, Cluster
+from repro.sim.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -33,9 +35,12 @@ class SearchPlan:
 class SearchPolicy:
     """Builds and caches per-CPU search plans for a placed chip."""
 
-    def __init__(self, topology: ChipTopology):
+    def __init__(
+        self, topology: ChipTopology, tracer: Optional[Tracer] = None
+    ):
         self.topology = topology
         self._plans: dict[int, SearchPlan] = {}
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     def plan(self, cpu_id: int) -> SearchPlan:
         cached = self._plans.get(cpu_id)
@@ -61,6 +66,12 @@ class SearchPolicy:
             step2=step2,
         )
         self._plans[cpu_id] = plan
+        tracer = self._tracer
+        if tracer.enabled:
+            # Cold path (once per CPU): stamp the plan's shape at ts 0 so
+            # the timeline opens with each CPU's search topology.
+            track = tracer.track(f"cpu.{cpu_id}")
+            tracer.search_plan(0.0, track, cpu_id, len(plan.step1), len(plan.step2))
         return plan
 
     def clusters_probed(self, cpu_id: int, found_step: int) -> int:

@@ -36,6 +36,7 @@ from repro.experiments.config import ExperimentScale, current_scale
 from repro.experiments.orchestrator import run_sweep
 from repro.experiments.registry import EXPERIMENT_NAMES, run_experiment
 from repro.experiments.spec import SimSpec, simulate
+from repro.sim.trace import TraceSpec, write_trace
 
 _PLACEMENTS = {policy.value: policy for policy in PlacementPolicy}
 
@@ -112,6 +113,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the energy breakdown too")
     run.add_argument("--json", action="store_true",
                      help="emit the spec and statistics as JSON")
+    run.add_argument(
+        "--mode", choices=("model", "cycle"), default=None,
+        help="timing fidelity (default: model; --trace implies cycle "
+             "unless --mode is given explicitly)",
+    )
+    run.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record structured events and export them to FILE",
+    )
+    run.add_argument(
+        "--trace-format", choices=TraceSpec.FORMATS, default="chrome",
+        help="chrome (chrome://tracing / perfetto JSON) or jsonl",
+    )
+    run.add_argument(
+        "--trace-limit", type=int, default=1_000_000,
+        help="ring-buffer capacity in events; oldest events are "
+             "dropped past this",
+    )
+    run.add_argument(
+        "--trace-filter", default=None, metavar="GLOB",
+        help="record only tracks matching this component glob "
+             "(e.g. 'router.*', 'pillar.3.3')",
+    )
     _add_profile_args(run)
 
     sweep = sub.add_parser(
@@ -175,6 +199,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         warmup_fraction=args.warmup,
         seed=args.seed,
     )
+    # Tracing is most useful on the cycle-accurate fabric (that is where
+    # the router/pillar hop events live), so --trace implies cycle mode
+    # unless the user pinned --mode themselves.
+    mode = args.mode or ("cycle" if args.trace else "model")
+    trace_spec = None
+    if args.trace:
+        trace_spec = TraceSpec(
+            format=args.trace_format,
+            limit=args.trace_limit,
+            component_filter=args.trace_filter,
+        )
     spec = SimSpec.make(
         args.scheme,
         args.benchmark,
@@ -182,8 +217,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         layers=args.layers,
         pillars=args.pillars,
         cache_mb=args.cache_mb,
+        mode=mode,
+        trace=trace_spec,
     )
     system, stats = simulate(spec)
+    if args.trace:
+        written, dropped = write_trace(
+            system.tracer, args.trace, args.trace_format
+        )
+        note = f" ({dropped:,} dropped)" if dropped else ""
+        print(
+            f"trace: {written:,} events{note} -> {args.trace}",
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(
             {"spec": spec.to_dict(), "stats": stats.to_dict()}, indent=1

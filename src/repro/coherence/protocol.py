@@ -21,6 +21,7 @@ from typing import Optional
 from repro.cache.nuca import AccessType
 from repro.coherence.l1cache import L1Cache, L1Config
 from repro.coherence.directory import Directory
+from repro.sim.trace import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -39,8 +40,20 @@ class CoherenceEvent:
 class CoherentL1System:
     """All private L1s plus the sharer directory, MSI over write-through."""
 
-    def __init__(self, num_cpus: int, config: Optional[L1Config] = None):
+    def __init__(
+        self,
+        num_cpus: int,
+        config: Optional[L1Config] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self.config = config or L1Config()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Per-CPU tracks for writer-initiated invalidations; L2-initiated
+        # back-invalidations land on one shared "coherence" track.
+        self._cpu_tracks = [
+            self.tracer.track(f"cpu.{cpu}") for cpu in range(num_cpus)
+        ]
+        self._sys_track = self.tracer.track("coherence")
         # Split I/D: instruction fetches and data references index
         # separate 64 KB arrays, as in Table 4.
         self.dcaches = [L1Cache(cpu, self.config) for cpu in range(num_cpus)]
@@ -59,9 +72,17 @@ class CoherentL1System:
         return self.dcaches[cpu_id]
 
     def access(
-        self, cpu_id: int, address: int, access_type: AccessType
+        self,
+        cpu_id: int,
+        address: int,
+        access_type: AccessType,
+        cycle: float = 0.0,
     ) -> CoherenceEvent:
-        """Process one reference; returns the resulting coherence event."""
+        """Process one reference; returns the resulting coherence event.
+
+        ``cycle`` only timestamps trace events; callers advancing
+        simulated time should pass their clock.
+        """
         cache = self._array(cpu_id, access_type)
         line = cache.line_of(address)
 
@@ -85,6 +106,15 @@ class CoherentL1System:
             if len(buffer) > self._write_buffer_entries:
                 buffer.pop()
             invalidated = self.directory.write_invalidate(line, cpu_id)
+            tracer = self.tracer
+            if tracer.enabled and invalidated:
+                tracer.coherence(
+                    cycle,
+                    self._cpu_tracks[cpu_id],
+                    "write_invalidate",
+                    line,
+                    tuple(invalidated),
+                )
             for target in invalidated:
                 self.dcaches[target].invalidate(address)
                 self.icaches[target].invalidate(address)
@@ -130,9 +160,15 @@ class CoherentL1System:
             l1_evicted_line=evicted,
         )
 
-    def l2_eviction(self, line_address: int) -> list[int]:
+    def l2_eviction(self, line_address: int, cycle: float = 0.0) -> list[int]:
         """Back-invalidate L1 copies when the L2 evicts a line (inclusion)."""
         targets = self.directory.invalidate_line(line_address)
+        tracer = self.tracer
+        if tracer.enabled and targets:
+            tracer.coherence(
+                cycle, self._sys_track, "l2_eviction", line_address,
+                tuple(targets),
+            )
         address = line_address * self.config.line_bytes
         for target in targets:
             self.dcaches[target].invalidate(address)

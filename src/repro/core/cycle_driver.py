@@ -49,6 +49,7 @@ class CyclePricer:
             # kernel's idle fast-forward pays off.
             activity_tracking=system.config.activity_tracking,
             fabric=system.config.noc_fabric,
+            tracer=system.tracer,
         )
 
     # -- helpers ------------------------------------------------------------

@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
 from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.noc.fabric import FabricKind
 from repro.noc.routing import Coord
 from repro.core.chip import ChipConfig, ChipTopology
 from repro.core.placement import PlacementPolicy, build_topology
@@ -73,10 +75,15 @@ class SystemConfig:
     # transaction legs; False falls back to the naive tick-everything
     # kernel (bit-identical results, much slower).
     activity_tracking: bool = True
-    # Fabric implementation for mode="cycle": "optimized" is the
-    # allocation-free hot path, "reference" the frozen naive fabric it is
+    # Fabric implementation for mode="cycle": OPTIMIZED is the
+    # allocation-free hot path, REFERENCE the frozen naive fabric it is
     # differentially verified against (bit-identical, much slower).
-    noc_fabric: str = "optimized"
+    # Strings ("optimized"/"reference") are accepted and normalised to the
+    # enum by validate().
+    noc_fabric: "FabricKind | str" = FabricKind.OPTIMIZED
+    # Structured event tracing: None (default) means probe sites see the
+    # NullTracer and the hot path stays allocation-free.
+    tracer: Optional[Tracer] = None
     # Consecutive same-CPU accesses before a gradual one-cluster move.
     # Lazy and conservative: shared lines whose accessors alternate are
     # left in place (anti-ping-pong).
@@ -94,8 +101,8 @@ class SystemConfig:
     def validate(self) -> None:
         if self.mode not in ("model", "cycle"):
             raise ValueError(f"unknown mode {self.mode!r}")
-        if self.noc_fabric not in ("optimized", "reference"):
-            raise ValueError(f"unknown noc_fabric {self.noc_fabric!r}")
+        # Normalise the CLI/spec boundary string through the one validator.
+        self.noc_fabric = FabricKind.parse(self.noc_fabric)
         if self.tag_latency < 1 or self.bank_latency < 1:
             raise ValueError("array latencies must be positive")
 
@@ -139,6 +146,10 @@ class NetworkInMemory:
                 setup.chip, placement, k=self.config.placement_k
             )
         self.stats = StatsRegistry("system")
+        self.tracer: Tracer = (
+            self.config.tracer if self.config.tracer is not None
+            else NULL_TRACER
+        )
         # CMP-DNUCA reproduces Beckmann & Wood's policy: promotion on every
         # hit, but only along the block's bankset chain — lots of movement,
         # modest convergence, exactly what Fig 14 contrasts against.
@@ -152,8 +163,12 @@ class NetworkInMemory:
             transfer_flits=self.config.data_flits,
             bankset_chains=(setup.scheme == Scheme.CMP_DNUCA),
         )
-        self.l2 = NucaL2(self.topology, migration, stats=self.stats)
-        self.l1s = CoherentL1System(setup.chip.num_cpus, self.config.l1)
+        self.l2 = NucaL2(
+            self.topology, migration, stats=self.stats, tracer=self.tracer
+        )
+        self.l1s = CoherentL1System(
+            setup.chip.num_cpus, self.config.l1, tracer=self.tracer
+        )
         self.cores = [
             InOrderCore(cpu, cpi_base=self.config.cpi_base)
             for cpu in range(setup.chip.num_cpus)
@@ -170,12 +185,15 @@ class NetworkInMemory:
             self.model = LatencyModel(self.topology, self.config.latency_model)
             self.pricer = CyclePricer(self)
 
-        self.hit_latency = self.stats.histogram("l2.hit_latency", 1.0, 512)
-        self.miss_latency = self.stats.histogram("l2.miss_latency", 2.0, 512)
-        self._l2_reads = self.stats.counter("l2.read_transactions")
-        self._l2_writes = self.stats.counter("l2.write_transactions")
-        self._l2_ifetches = self.stats.counter("l2.ifetch_transactions")
-        self._invalidations = self.stats.counter("coherence.invalidations")
+        l2_scope = self.stats.scope("l2")
+        self.hit_latency = l2_scope.histogram("hit_latency", 1.0, 512)
+        self.miss_latency = l2_scope.histogram("miss_latency", 2.0, 512)
+        self._l2_reads = l2_scope.counter("read_transactions")
+        self._l2_writes = l2_scope.counter("write_transactions")
+        self._l2_ifetches = l2_scope.counter("ifetch_transactions")
+        self._invalidations = self.stats.scope("coherence").counter(
+            "invalidations"
+        )
 
     # -- one L2 transaction ---------------------------------------------------
 
@@ -195,7 +213,7 @@ class NetworkInMemory:
         else:
             self.miss_latency.add(latency)
             if outcome.evicted_line is not None:
-                targets = self.l1s.l2_eviction(outcome.evicted_line)
+                targets = self.l1s.l2_eviction(outcome.evicted_line, cycle)
                 self.pricer.charge_invalidations(
                     self.topology.clusters[outcome.cluster].tag_node,
                     targets,
@@ -254,7 +272,9 @@ class NetworkInMemory:
             gap, op, address = event
             core = self.cores[cpu]
             core.retire_gap(gap)
-            coherence = self.l1s.access(cpu, address, _OP_TO_TYPE[op])
+            coherence = self.l1s.access(
+                cpu, address, _OP_TO_TYPE[op], core.clock
+            )
             stall = 0.0
             if coherence.invalidate_cpus:
                 self._invalidations.increment(len(coherence.invalidate_cpus))

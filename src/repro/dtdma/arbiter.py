@@ -16,6 +16,7 @@ import math
 from typing import Hashable, Iterable, Optional
 
 from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
 
 
 def control_wire_count(num_layers: int) -> int:
@@ -41,16 +42,27 @@ class DynamicTDMAArbiter:
     grant pattern cycles through exactly those k clients.
     """
 
-    def __init__(self, clients: Iterable[Hashable], stats: Optional[StatsRegistry] = None):
+    def __init__(
+        self,
+        clients: Iterable[Hashable],
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        track: int = 0,
+    ):
         self.clients = list(clients)
         if not self.clients:
             raise ValueError("arbiter needs at least one client")
         self._position = {client: index for index, client in enumerate(self.clients)}
         self._last_granted_index = len(self.clients) - 1
         self.stats = stats or StatsRegistry("dtdma.arbiter")
-        self._grants = self.stats.counter("arbiter.grants")
-        self._idle = self.stats.counter("arbiter.idle_cycles")
-        self._active_hist = self.stats.histogram("arbiter.active_clients", 1.0, 64)
+        # Frame grow/shrink events land on the owning bus's track.
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._track = track
+        self._frame_size = 0
+        scope = self.stats.scope("arbiter")
+        self._grants = scope.counter("grants")
+        self._idle = scope.counter("idle_cycles")
+        self._active_hist = scope.histogram("active_clients", 1.0, 64)
 
     def add_client(self, client: Hashable) -> None:
         if client in self._position:
@@ -58,19 +70,28 @@ class DynamicTDMAArbiter:
         self._position[client] = len(self.clients)
         self.clients.append(client)
 
-    def grant(self, active: set[Hashable]) -> Optional[Hashable]:
+    def grant(
+        self, active: set[Hashable], cycle: int = 0
+    ) -> Optional[Hashable]:
         """Pick the next active client in circular order, or ``None``.
 
         ``active`` is the set of clients with a deliverable flit this cycle.
         Every member must have been registered (at construction or via
         :meth:`add_client`); an unknown client raises ``ValueError`` rather
         than being silently starved, which would mask wiring mistakes.
+        ``cycle`` only timestamps trace events (frame grow/shrink).
         """
         if not active <= self._position.keys():
             unknown = sorted(repr(c) for c in active - self._position.keys())
             raise ValueError(
                 f"unregistered client(s) in active set: {', '.join(unknown)}"
             )
+        tracer = self._tracer
+        if tracer.enabled:
+            frame = len(active)
+            if frame != self._frame_size:
+                tracer.bus_frame(cycle, self._track, self._frame_size, frame)
+                self._frame_size = frame
         self._active_hist.add(len(active))
         if not active:
             self._idle.increment()

@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.sim.engine import ClockedComponent, Engine
 from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
 from repro.noc.flit import Flit
 from repro.noc.link import CreditPipeline
 from repro.noc.router import Router, InputPort
@@ -56,12 +57,15 @@ class PillarBus(ClockedComponent):
         routers: dict[int, Router],
         stats: Optional[StatsRegistry] = None,
         event_scheduling: bool = False,
+        tracer: Optional[Tracer] = None,
     ):
         self.engine = engine
         self.event_scheduling = event_scheduling
         self.xy = xy
         self.layers = sorted(routers)
         self.stats = stats or StatsRegistry(f"pillar{xy}")
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._track = self._tracer.track(f"pillar.{xy[0]}.{xy[1]}")
         if len(self.layers) < 2:
             raise ValueError("a pillar must span at least two layers")
         num_vcs = routers[self.layers[0]].num_vcs
@@ -116,12 +120,15 @@ class PillarBus(ClockedComponent):
         clients: list[Client] = [
             (layer, vc) for layer in self.layers for vc in range(num_vcs)
         ]
-        self.arbiter = DynamicTDMAArbiter(clients, stats=self.stats)
+        self.arbiter = DynamicTDMAArbiter(
+            clients, stats=self.stats, tracer=self._tracer, track=self._track
+        )
         self._granted: Optional[Client] = None
-        self._busy = self.stats.counter("bus.busy_cycles")
-        self._cycles = self.stats.counter("bus.total_cycles")
-        self._transfers = self.stats.counter("bus.flit_transfers")
-        self._queue_hist = self.stats.histogram("bus.tx_occupancy", 1.0, 64)
+        scope = self.stats.scope("bus")
+        self._busy = scope.counter("busy_cycles")
+        self._cycles = scope.counter("total_cycles")
+        self._transfers = scope.counter("flit_transfers")
+        self._queue_hist = scope.histogram("tx_occupancy", 1.0, 64)
         # First cycle whose per-cycle accounting has not been recorded yet.
         # The bus records statistics every cycle under the naive kernel;
         # under activity tracking the idle cycles it was skipped for are
@@ -191,7 +198,7 @@ class PillarBus(ClockedComponent):
         self._queue_hist.add(
             sum(t.occupancy for t in self.transceivers.values())
         )
-        self._granted = self.arbiter.grant(active)
+        self._granted = self.arbiter.grant(active, cycle)
 
     def advance(self, cycle: int) -> None:
         if self._granted is None:
@@ -199,6 +206,16 @@ class PillarBus(ClockedComponent):
         layer, vc = self._granted
         flit = self.transceivers[layer].pop(vc)
         dest_layer = flit.packet.dest.z
+        tracer = self._tracer
+        if tracer.enabled and flit.is_head:
+            tracer.bus_grant(
+                cycle,
+                self._track,
+                flit.packet.packet_id,
+                layer,
+                dest_layer,
+                vc,
+            )
         self._rx_credits[dest_layer][vc] -= 1
         if flit.is_head:
             self._vc_owner[(dest_layer, vc)] = (layer, vc)

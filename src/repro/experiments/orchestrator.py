@@ -34,7 +34,8 @@ from multiprocessing.connection import wait as connection_wait
 from typing import Callable, Mapping, Optional, Sequence
 
 from repro.core.system import RunStats
-from repro.experiments.spec import SimSpec, run_spec
+from repro.experiments.spec import SimSpec, run_spec, simulate
+from repro.sim.trace import write_trace
 
 #: Bump when the artifact layout changes; mismatched artifacts are misses.
 CACHE_VERSION = 1
@@ -158,11 +159,31 @@ class SweepSummary:
         }
 
 
-def _cell_entry(spec_dict: dict, conn) -> None:
+def trace_path(spec: SimSpec, trace_dir: str) -> str:
+    """Where a traced cell's export lands: ``trace_dir/<spec_hash><suffix>``."""
+    assert spec.trace is not None
+    return os.path.join(
+        trace_dir, f"{spec.spec_hash()}{spec.trace.filename_suffix()}"
+    )
+
+
+def _run_cell(spec: SimSpec, trace_dir: Optional[str]) -> RunStats:
+    """Simulate one cell; export its trace when the spec opts in."""
+    if spec.trace is None or trace_dir is None:
+        return run_spec(spec)
+    system, stats = simulate(spec)
+    os.makedirs(trace_dir, exist_ok=True)
+    write_trace(
+        system.tracer, trace_path(spec, trace_dir), spec.trace.format
+    )
+    return stats
+
+
+def _cell_entry(spec_dict: dict, conn, trace_dir: Optional[str] = None) -> None:
     """Worker-process entry: simulate one cell, ship the result back."""
     try:
         spec = SimSpec.from_dict(spec_dict)
-        stats = run_spec(spec)
+        stats = _run_cell(spec, trace_dir)
         conn.send(("ok", stats.to_dict()))
     except BaseException as exc:  # report, don't die silently
         conn.send(("error", f"{type(exc).__name__}: {exc}",
@@ -190,6 +211,7 @@ def run_sweep(
     retries: int = 1,
     runner: Optional[Callable[[SimSpec], RunStats]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    trace_dir: Optional[str] = None,
 ) -> SweepSummary:
     """Run every cell of a grid, in parallel, through the result cache.
 
@@ -200,6 +222,11 @@ def run_sweep(
     are simulated once.  ``runner`` overrides the cell function for the
     inline path (tests inject failing runners); parallel workers always
     execute :func:`run_spec`.
+
+    Cells whose spec carries a :class:`~repro.sim.trace.TraceSpec` export
+    their event trace to ``trace_dir/<spec_hash><suffix>`` (requires
+    ``trace_dir``; the export happens only when the cell actually
+    simulates — a cache hit reuses the stats without re-tracing).
     """
     summary = SweepSummary()
     started = time.monotonic()
@@ -234,7 +261,7 @@ def run_sweep(
         say(f"done {spec.label()} ({len(summary.results)} ready)")
 
     if jobs <= 1 or len(pending) <= 1:
-        cell = runner or run_spec
+        cell = runner or (lambda spec: _run_cell(spec, trace_dir))
         for spec in pending:
             try:
                 finish(spec, cell(spec))
@@ -247,7 +274,9 @@ def run_sweep(
         summary.elapsed_s = time.monotonic() - started
         return summary
 
-    _run_parallel(pending, jobs, timeout_s, retries, finish, summary, say)
+    _run_parallel(
+        pending, jobs, timeout_s, retries, finish, summary, say, trace_dir
+    )
     summary.elapsed_s = time.monotonic() - started
     return summary
 
@@ -260,6 +289,7 @@ def _run_parallel(
     finish: Callable[[SimSpec, RunStats], None],
     summary: SweepSummary,
     say: Callable[[str], None],
+    trace_dir: Optional[str] = None,
 ) -> None:
     """Fan ``pending`` out over worker processes with timeout + retry."""
     ctx = multiprocessing.get_context()
@@ -271,7 +301,7 @@ def _run_parallel(
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_cell_entry,
-            args=(pending[index].to_dict(), child_conn),
+            args=(pending[index].to_dict(), child_conn, trace_dir),
             daemon=True,
         )
         process.start()

@@ -35,6 +35,7 @@ from typing import Optional
 from repro.core.schemes import Scheme
 from repro.core.system import NetworkInMemory, RunStats, SystemConfig
 from repro.sim.rng import derive_seed
+from repro.sim.trace import TraceSpec
 from repro.experiments.config import ExperimentScale, current_scale
 
 #: Bump when the simulation's semantics change incompatibly, so stale
@@ -57,6 +58,13 @@ class SimSpec:
     # Pin CPUs to the 8-pillar reference floorplan while the pillar
     # budget varies (Fig 17 isolates the interconnect effect).
     fixed_floorplan: bool = False
+    # Timing fidelity: "model" (analytic latency model) or "cycle"
+    # (packets fly through the real fabric).
+    mode: str = "model"
+    # Per-cell tracing opt-in: a TraceSpec makes simulate() attach a
+    # RingTracer to the system, so a single sweep cell can be traced
+    # reproducibly.  None (default) keeps the NullTracer.
+    trace: Optional[TraceSpec] = None
 
     @classmethod
     def make(
@@ -75,8 +83,13 @@ class SimSpec:
     # -- serialization ---------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-safe form; exact inverse of :meth:`from_dict`."""
-        return {
+        """JSON-safe form; exact inverse of :meth:`from_dict`.
+
+        ``mode`` and ``trace`` are emitted only when they differ from the
+        defaults, so every pre-existing spec hash (and therefore every
+        cached artifact) is unchanged by their introduction.
+        """
+        data = {
             "version": SPEC_VERSION,
             "scheme": self.scheme.value,
             "benchmark": self.benchmark,
@@ -88,6 +101,11 @@ class SimSpec:
             "num_cpus": self.num_cpus,
             "fixed_floorplan": self.fixed_floorplan,
         }
+        if self.mode != "model":
+            data["mode"] = self.mode
+        if self.trace is not None:
+            data["trace"] = self.trace.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimSpec":
@@ -106,6 +124,12 @@ class SimSpec:
             seed=data["seed"],
             num_cpus=data["num_cpus"],
             fixed_floorplan=data["fixed_floorplan"],
+            mode=data.get("mode", "model"),
+            trace=(
+                TraceSpec.from_dict(data["trace"])
+                if data.get("trace") is not None
+                else None
+            ),
         )
 
     # -- identity --------------------------------------------------------------
@@ -166,6 +190,7 @@ def build_system_config(spec: SimSpec) -> SystemConfig:
         num_layers=spec.layers,
         num_pillars=spec.pillars,
         num_cpus=spec.num_cpus,
+        mode=spec.mode,
     )
     if spec.fixed_floorplan:
         config.cpu_positions_override = _reference_positions(spec)
@@ -199,6 +224,8 @@ def simulate(
     from repro.workloads.generator import SyntheticWorkload
 
     config = system_config or build_system_config(spec)
+    if spec.trace is not None and config.tracer is None:
+        config.tracer = spec.trace.make_tracer()
     system = NetworkInMemory(config)
     workload = SyntheticWorkload(
         spec.benchmark,

@@ -22,6 +22,7 @@ from typing import Callable, Optional
 
 from repro.sim.engine import ClockedComponent, Engine
 from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
 from repro.noc.flit import Flit
 from repro.noc.link import CreditPipeline
 from repro.noc.packet import FlitPool, Packet
@@ -52,19 +53,28 @@ class NetworkInterface(ClockedComponent):
         on_packet: Optional[Callable[[Packet], None]] = None,
         stats: Optional[StatsRegistry] = None,
         pool: Optional[FlitPool] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.engine = engine
         self.router = router
         self.on_packet = on_packet
         self.stats = stats or StatsRegistry(f"nic{router.coord}")
         self._pool = pool
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        # Inject/eject events share the router's track: one timeline per
+        # node shows the packet's whole residence there.
+        coord = router.coord
+        self._track = self._tracer.track(
+            f"router.{coord.x}.{coord.y}.{coord.z}"
+        )
         self._inject_queue: deque[Packet] = deque()
         self._current_flits: deque[Flit] = deque()
         self._current_vc: Optional[int] = None
         self._ejected_packets: list[Packet] = []
-        self._latency_hist = self.stats.histogram("nic.packet_latency")
-        self._injected = self.stats.counter("nic.packets_injected")
-        self._received = self.stats.counter("nic.packets_received")
+        scope = self.stats.scope("nic")
+        self._latency_hist = scope.histogram("packet_latency")
+        self._injected = scope.counter("packets_injected")
+        self._received = scope.counter("packets_received")
 
         # Injection path: NIC output -> router LOCAL input, a one-cycle
         # hop deposited directly (see module docstring).
@@ -116,6 +126,9 @@ class NetworkInterface(ClockedComponent):
             self._current_flits = deque(packet.make_flits(self._pool))
             self._current_vc = vc
             self._injected.increment()
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.packet_inject(cycle, self._track, packet)
         if self._output.credits[self._current_vc] > 0:
             flit = self._current_flits.popleft()
             flit.injected_cycle = cycle
@@ -132,6 +145,14 @@ class NetworkInterface(ClockedComponent):
             self._received.increment()
             if packet.latency is not None:
                 self._latency_hist.add(packet.latency)
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.packet_eject(
+                    packet.ejected_cycle,
+                    self._track,
+                    packet.packet_id,
+                    packet.latency,
+                )
             self._ejected_packets.append(packet)
             if self.on_packet is not None:
                 self.on_packet(packet)

@@ -13,9 +13,10 @@ of a closure plus a heap push).
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.sim.engine import ClockedComponent, Engine
+from repro.sim.trace import NULL_TRACER, Tracer
 from repro.noc.flit import Flit
 
 
@@ -28,16 +29,30 @@ class Link:
     component when the delayed delivery lands.
     """
 
-    def __init__(self, engine: Engine, sink: Callable[[Flit, int], None], latency: int = 1):
+    def __init__(
+        self,
+        engine: Engine,
+        sink: Callable[[Flit, int], None],
+        latency: int = 1,
+        tracer: Optional[Tracer] = None,
+        name: str = "link",
+    ):
         if latency < 0:
             raise ValueError("link latency must be non-negative")
         self.engine = engine
         self.sink = sink
         self.latency = latency
         self.flits_carried = 0
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._track = self._tracer.track(name)
 
     def send(self, flit: Flit, vc: int) -> None:
         self.flits_carried += 1
+        tracer = self._tracer
+        if tracer.enabled and flit.is_head:
+            tracer.link_transfer(
+                self.engine.cycle, self._track, flit.packet.packet_id, vc
+            )
         if self.latency == 0:
             self.sink(flit, vc)
         else:

@@ -14,6 +14,8 @@ from typing import Callable, Iterator, Optional
 
 from repro.sim.engine import Engine
 from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+from repro.noc.fabric import FABRIC_NAMES, FabricKind
 from repro.noc.flit import IdScope
 from repro.noc.link import LinkPipeline
 from repro.noc.packet import FlitPool, Packet, MessageClass
@@ -21,7 +23,8 @@ from repro.noc.router import Router, connect
 from repro.noc.routing import Coord, Port, best_pillar
 from repro.noc.interface import NetworkInterface
 
-FABRICS = ("optimized", "reference")
+# Backwards-compatible alias; FabricKind.parse is the validator now.
+FABRICS = FABRIC_NAMES
 
 
 @dataclass
@@ -76,15 +79,13 @@ class Network:
         engine: Optional[Engine] = None,
         stats: Optional[StatsRegistry] = None,
         activity_tracking: bool = True,
-        fabric: str = "optimized",
+        fabric: "FabricKind | str" = FabricKind.OPTIMIZED,
+        tracer: Optional[Tracer] = None,
     ):
         config.validate()
-        if fabric not in FABRICS:
-            raise ValueError(
-                f"unknown fabric {fabric!r}; choose from {FABRICS}"
-            )
         self.config = config
-        self.fabric = fabric
+        self.fabric = FabricKind.parse(fabric)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # ``activity_tracking`` selects the kernel for a self-owned engine
         # (ignored when an engine is supplied): the activity-tracked kernel
         # skips quiescent routers/NICs/pillars and produces bit-identical
@@ -99,7 +100,7 @@ class Network:
         # produce identical traces.
         self.ids = IdScope()
         self.flit_pool: Optional[FlitPool] = (
-            FlitPool() if fabric == "optimized" else None
+            FlitPool() if self.fabric is FabricKind.OPTIMIZED else None
         )
         self.routers: dict[Coord, Router] = {}
         self.nics: dict[Coord, NetworkInterface] = {}
@@ -111,7 +112,7 @@ class Network:
     # -- construction -------------------------------------------------------
 
     def _build(self) -> None:
-        if self.fabric == "reference":
+        if self.fabric is FabricKind.REFERENCE:
             self._build_reference()
         else:
             self._build_optimized()
@@ -119,7 +120,10 @@ class Network:
     def _build_optimized(self) -> None:
         cfg = self.config
         for coord in self.coords():
-            router = Router(coord, cfg.num_vcs, cfg.vc_depth, stats=self.stats)
+            router = Router(
+                coord, cfg.num_vcs, cfg.vc_depth, stats=self.stats,
+                tracer=self.tracer,
+            )
             self.routers[coord] = router
             self.engine.register(router)
 
@@ -153,6 +157,7 @@ class Network:
             nic = NetworkInterface(
                 self.engine, router, on_packet=self._on_packet,
                 stats=self.stats, pool=self.flit_pool,
+                tracer=self.tracer,
             )
             self.nics[coord] = nic
             self.engine.register(nic)
@@ -214,6 +219,7 @@ class Network:
                 bus = PillarBus(
                     self.engine, xy, pillar_routers, stats=self.stats,
                     event_scheduling=event_scheduling,
+                    tracer=self.tracer,
                 )
                 self.pillars[xy] = bus
                 self.engine.register(bus)
@@ -281,5 +287,5 @@ class Network:
 
     def mean_packet_latency(self) -> float:
         """Mean end-to-end packet latency (all NICs share one histogram)."""
-        hist = self.stats.histogram("nic.packet_latency")
+        hist = self.stats.scope("nic").histogram("packet_latency")
         return hist.mean

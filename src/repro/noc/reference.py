@@ -142,8 +142,9 @@ class ReferenceRouter(ClockedComponent):
         self._grants: list[tuple[Port, int, ReferenceOutputPort, int]] = []
         self._rr_offset = 0
         self._buffered = 0
-        self._forwarded = self.stats.counter(f"router{coord}.flits_forwarded")
-        self._blocked = self.stats.counter(f"router{coord}.cycles_blocked")
+        scope = self.stats.scope(f"router{coord}")
+        self._forwarded = scope.counter("flits_forwarded")
+        self._blocked = scope.counter("cycles_blocked")
 
     # -- wiring ----------------------------------------------------------
 
@@ -295,9 +296,10 @@ class ReferenceNetworkInterface(ClockedComponent):
         self._current_flits: deque[Flit] = deque()
         self._current_vc: Optional[int] = None
         self._ejected_packets: list[Packet] = []
-        self._latency_hist = self.stats.histogram("nic.packet_latency")
-        self._injected = self.stats.counter("nic.packets_injected")
-        self._received = self.stats.counter("nic.packets_received")
+        scope = self.stats.scope("nic")
+        self._latency_hist = scope.histogram("packet_latency")
+        self._injected = scope.counter("packets_injected")
+        self._received = scope.counter("packets_received")
 
         # Injection path: NIC output -> router LOCAL input.
         local_input = router.add_input_port(Port.LOCAL)

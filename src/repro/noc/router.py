@@ -32,6 +32,7 @@ from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from repro.sim.engine import ClockedComponent, Engine
 from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
 from repro.noc.flit import Flit
 from repro.noc.link import CreditPipeline, LinkPipeline
 from repro.noc.routing import Coord, PORT_INDEX, Port, dimension_order_route
@@ -169,11 +170,16 @@ class Router(ClockedComponent):
         num_vcs: int = 3,
         vc_depth: int = 4,
         stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.coord = coord
         self.num_vcs = num_vcs
         self.vc_depth = vc_depth
         self.stats = stats or StatsRegistry(f"router{coord}")
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._track = self._tracer.track(
+            f"router.{coord.x}.{coord.y}.{coord.z}"
+        )
         self.input_ports: dict[Port, InputPort] = {}
         self.output_ports: dict[Port, OutputPort] = {}
         # Grants decided in evaluate(), committed in advance(): a flat
@@ -199,8 +205,9 @@ class Router(ClockedComponent):
         # Running count of input-buffered flits, maintained by
         # InputPort.accept / advance so is_idle() is O(1).
         self._buffered = 0
-        self._forwarded = self.stats.counter(f"router{coord}.flits_forwarded")
-        self._blocked = self.stats.counter(f"router{coord}.cycles_blocked")
+        scope = self.stats.scope(f"router{coord}")
+        self._forwarded = scope.counter("flits_forwarded")
+        self._blocked = scope.counter("cycles_blocked")
 
     # -- wiring ----------------------------------------------------------
 
@@ -357,9 +364,21 @@ class Router(ClockedComponent):
         grants = self._grants
         if not grants:
             return
+        # Probe guard hoisted out of the loop: the disabled path costs one
+        # attribute load + branch per advance, zero per grant.
+        tracer = self._tracer
+        traced = tracer.enabled
         for i in range(0, len(grants), 5):
             vc = grants[i + 1]
             flit = vc.buffer.popleft()
+            if traced and flit.is_head:
+                tracer.packet_hop(
+                    cycle,
+                    self._track,
+                    flit.packet.packet_id,
+                    grants[i + 3].port.name,
+                    grants[i + 4],
+                )
             if flit.is_tail:
                 vc.route_port = None
                 vc.out_vc = None

@@ -9,7 +9,8 @@ estimation inside the contention-aware latency model.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator
+import warnings
+from typing import Iterable, Iterator, Optional
 
 
 class Counter:
@@ -185,12 +186,56 @@ class MovingAverage:
         self.initialized = False
 
 
-class StatsRegistry:
-    """A flat namespace of counters and histograms for one subsystem.
+class StatsScope:
+    """A prefixed view onto a :class:`StatsRegistry`.
 
-    Components ask the registry for named statistics; asking twice for the
-    same name returns the same object, so producers and reporters do not
-    need to share references explicitly.
+    ``registry.scope("noc.router")`` returns a child view whose
+    :meth:`counter` / :meth:`histogram` auto-prefix names with
+    ``"noc.router."``, so components never hand-concatenate metric-name
+    strings.  Scopes nest (``scope.scope("0.0.0")``) and are cheap enough
+    to create per component at construction time; the statistics
+    themselves still live in the shared registry, so two scopes with the
+    same prefix resolve to the same objects.
+    """
+
+    __slots__ = ("_registry", "prefix")
+
+    def __init__(self, registry: "StatsRegistry", prefix: str):
+        if not prefix:
+            raise ValueError("scope prefix must be non-empty")
+        self._registry = registry
+        self.prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        return self._registry._counter(f"{self.prefix}.{name}")
+
+    def histogram(
+        self, name: str, bucket_width: float = 1.0, num_buckets: int = 256
+    ) -> Histogram:
+        return self._registry._histogram(
+            f"{self.prefix}.{name}", bucket_width, num_buckets
+        )
+
+    def scope(self, prefix: str) -> "StatsScope":
+        if not prefix:
+            raise ValueError("scope prefix must be non-empty")
+        return StatsScope(self._registry, f"{self.prefix}.{prefix}")
+
+    def snapshot(self) -> dict[str, float]:
+        return self._registry.snapshot(prefix=self.prefix)
+
+    def __repr__(self) -> str:
+        return f"StatsScope({self.prefix!r})"
+
+
+class StatsRegistry:
+    """A hierarchical namespace of counters and histograms.
+
+    Components ask a :class:`StatsScope` (from :meth:`scope`) for named
+    statistics; asking twice for the same name returns the same object, so
+    producers and reporters do not need to share references explicitly.
+    The flat :meth:`counter` / :meth:`histogram` accessors remain as a
+    deprecated shim for pre-scope callers.
     """
 
     def __init__(self, name: str = "stats"):
@@ -198,12 +243,18 @@ class StatsRegistry:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
+    def scope(self, prefix: str) -> StatsScope:
+        """Return a child view that prefixes every metric name with ``prefix.``."""
+        return StatsScope(self, prefix)
+
+    def _counter(self, name: str) -> Counter:
         if name not in self._counters:
             self._counters[name] = Counter(name)
         return self._counters[name]
 
-    def histogram(self, name: str, bucket_width: float = 1.0, num_buckets: int = 256) -> Histogram:
+    def _histogram(
+        self, name: str, bucket_width: float = 1.0, num_buckets: int = 256
+    ) -> Histogram:
         hist = self._histograms.get(name)
         if hist is None:
             hist = Histogram(name, bucket_width, num_buckets)
@@ -219,6 +270,28 @@ class StatsRegistry:
             )
         return hist
 
+    def counter(self, name: str) -> Counter:
+        """Deprecated flat accessor; use ``registry.scope(...).counter(...)``."""
+        warnings.warn(
+            "StatsRegistry.counter(name) is deprecated; use "
+            "registry.scope(prefix).counter(name)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._counter(name)
+
+    def histogram(
+        self, name: str, bucket_width: float = 1.0, num_buckets: int = 256
+    ) -> Histogram:
+        """Deprecated flat accessor; use ``registry.scope(...).histogram(...)``."""
+        warnings.warn(
+            "StatsRegistry.histogram(name) is deprecated; use "
+            "registry.scope(prefix).histogram(name)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._histogram(name, bucket_width, num_buckets)
+
     def counters(self) -> Iterator[Counter]:
         return iter(self._counters.values())
 
@@ -231,12 +304,30 @@ class StatsRegistry:
         for histogram in self._histograms.values():
             histogram.reset()
 
-    def snapshot(self) -> dict[str, float]:
-        """Flat dict of every statistic, for report generation."""
+    @staticmethod
+    def _matches(name: str, prefix: Optional[str]) -> bool:
+        if prefix is None:
+            return True
+        return name == prefix or name.startswith(prefix + ".")
+
+    def snapshot(self, prefix: Optional[str] = None) -> dict[str, float]:
+        """Flat dict of every statistic, for report generation.
+
+        ``prefix`` restricts the result to statistics whose name equals
+        ``prefix`` or lives under ``prefix.`` (dotted-hierarchy match, not
+        raw startswith: ``prefix="l2"`` matches ``l2.hits`` but never
+        ``l2x.hits``).  Histograms contribute their out-of-range sample
+        counts (``<name>.underflow`` / ``<name>.overflow``) alongside mean
+        and count, so tail-heavy distributions are visible in reports.
+        """
         result: dict[str, float] = {}
         for counter in self._counters.values():
-            result[counter.name] = counter.value
+            if self._matches(counter.name, prefix):
+                result[counter.name] = counter.value
         for histogram in self._histograms.values():
-            result[f"{histogram.name}.mean"] = histogram.mean
-            result[f"{histogram.name}.count"] = histogram.count
+            if self._matches(histogram.name, prefix):
+                result[f"{histogram.name}.mean"] = histogram.mean
+                result[f"{histogram.name}.count"] = histogram.count
+                result[f"{histogram.name}.underflow"] = histogram.underflow
+                result[f"{histogram.name}.overflow"] = histogram.overflow
         return result

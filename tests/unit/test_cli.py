@@ -117,6 +117,43 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "1 cells: 0 simulated, 1 cached, 0 failed" in out
 
+    def test_run_trace_exports_valid_chrome_json(self, capsys, tmp_path):
+        from repro.sim.trace import validate_chrome_trace
+
+        out_path = tmp_path / "out.trace.json"
+        assert main(
+            ["run", "--benchmark", "art", "--refs", "120",
+             "--trace", str(out_path)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "trace:" in err and str(out_path) in err
+        info = validate_chrome_trace(out_path.read_text())
+        names = set(info["tracks"].values())
+        assert any(n.startswith("router.") for n in names)
+        assert any(n.startswith("pillar.") for n in names)
+        assert any(n.startswith("cluster.") for n in names)
+        assert info["flow_ids"]  # packet flows survived the round trip
+
+    def test_run_trace_implies_cycle_mode(self):
+        args = build_parser().parse_args(["run", "--trace", "out.json"])
+        assert args.mode is None  # resolution happens in _cmd_run
+        assert args.trace == "out.json"
+        assert args.trace_format == "chrome"
+        assert args.trace_limit == 1_000_000
+
+    def test_run_trace_jsonl_with_filter(self, capsys, tmp_path):
+        out_path = tmp_path / "out.trace.jsonl"
+        assert main(
+            ["run", "--benchmark", "art", "--refs", "120",
+             "--trace", str(out_path), "--trace-format", "jsonl",
+             "--trace-filter", "pillar.*"]
+        ) == 0
+        lines = out_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["format"] == "repro-trace"
+        for line in lines[1:]:
+            assert json.loads(line)["track"].startswith("pillar.")
+
     def test_sweep_json_output(self, capsys, tmp_path):
         argv = [
             "sweep", "--schemes", "CMP-DNUCA-3D", "--benchmarks", "art",

@@ -118,6 +118,39 @@ class TestSerialSweep:
                 cold.results[spec].to_dict()
             )
 
+    def test_traced_cell_exports_to_trace_dir(self, tmp_path):
+        from repro.sim.trace import TraceSpec, validate_chrome_trace
+
+        spec = make_spec(mode="cycle", trace=TraceSpec(limit=50_000))
+        trace_dir = tmp_path / "traces"
+        summary = run_sweep(
+            [spec],
+            cache_dir=str(tmp_path / "cache"),
+            trace_dir=str(trace_dir),
+        )
+        assert (summary.simulated, summary.failed) == (1, 0)
+        out = trace_dir / f"{spec.spec_hash()}.trace.json"
+        assert out.exists()
+        validate_chrome_trace(out.read_text())
+        # A warm rerun reuses the cached stats without re-tracing.
+        out.unlink()
+        warm = run_sweep(
+            [spec],
+            cache_dir=str(tmp_path / "cache"),
+            trace_dir=str(trace_dir),
+        )
+        assert (warm.simulated, warm.cached) == (0, 1)
+        assert not out.exists()
+
+    def test_untraced_cells_ignore_trace_dir(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        summary = run_sweep(
+            [make_spec()], use_cache=False, trace_dir=str(trace_dir),
+            runner=fake_stats,
+        )
+        assert summary.simulated == 1
+        assert not trace_dir.exists()
+
     def test_no_cache_never_touches_disk(self, tmp_path):
         specs = [make_spec()]
         run_sweep(

@@ -58,6 +58,34 @@ class TestHashing:
         results = {make_spec(): 1, make_spec(benchmark="swim"): 2}
         assert results[make_spec()] == 1
 
+    def test_mode_and_trace_defaults_leave_hash_unchanged(self):
+        # ``mode``/``trace`` are omitted from to_dict() at their defaults,
+        # so introducing them did not invalidate any cached artifact.
+        data = make_spec().to_dict()
+        assert "mode" not in data
+        assert "trace" not in data
+
+    def test_mode_and_trace_change_the_hash(self):
+        from repro.sim.trace import TraceSpec
+
+        base = make_spec()
+        cycle = make_spec(mode="cycle")
+        traced = make_spec(trace=TraceSpec())
+        assert len({
+            base.spec_hash(), cycle.spec_hash(), traced.spec_hash()
+        }) == 3
+
+    def test_traced_spec_round_trips(self):
+        from repro.sim.trace import TraceSpec
+
+        spec = make_spec(
+            mode="cycle",
+            trace=TraceSpec(
+                format="jsonl", limit=123, component_filter="router.*"
+            ),
+        )
+        assert SimSpec.from_dict(spec.to_dict()) == spec
+
 
 class TestSeeding:
     def test_cell_seed_pure_function_of_spec(self):

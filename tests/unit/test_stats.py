@@ -1,6 +1,7 @@
 """Unit tests for statistics primitives."""
 
 import math
+import warnings
 
 import pytest
 
@@ -172,3 +173,77 @@ class TestStatsRegistry:
         # Re-requesting with matching bucketing still shares the object.
         assert registry.histogram("h", bucket_width=2.0, num_buckets=16) \
             is registry.histogram("h", bucket_width=2.0, num_buckets=16)
+
+    def test_snapshot_includes_underflow_and_overflow(self):
+        # Regression: snapshot() silently omitted out-of-range samples,
+        # so a saturated histogram looked healthy in exported stats.
+        registry = StatsRegistry()
+        hist = registry.scope("lat").histogram(
+            "h", bucket_width=1.0, num_buckets=4
+        )
+        hist.extend([-2.0, 0.5, 100.0, 101.0])
+        snap = registry.snapshot()
+        assert snap["lat.h.count"] == 4
+        assert snap["lat.h.underflow"] == 1
+        assert snap["lat.h.overflow"] == 2
+
+
+class TestStatsScope:
+    def test_scope_prefixes_names(self):
+        registry = StatsRegistry()
+        scope = registry.scope("router.0")
+        scope.counter("flits").increment(3)
+        assert registry.snapshot()["router.0.flits"] == 3
+
+    def test_scope_shares_objects_with_full_name(self):
+        registry = StatsRegistry()
+        scope = registry.scope("nic")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            flat = registry.counter("nic.injected")
+        assert scope.counter("injected") is flat
+
+    def test_nested_scopes(self):
+        registry = StatsRegistry()
+        inner = registry.scope("noc").scope("router.1")
+        inner.histogram("lat").add(5.0)
+        snap = registry.snapshot()
+        assert snap["noc.router.1.lat.mean"] == 5.0
+
+    def test_empty_prefix_rejected(self):
+        registry = StatsRegistry()
+        with pytest.raises(ValueError):
+            registry.scope("")
+        with pytest.raises(ValueError):
+            registry.scope("ok").scope("")
+
+    def test_snapshot_prefix_filter(self):
+        registry = StatsRegistry()
+        registry.scope("a").counter("x").increment()
+        registry.scope("ab").counter("y").increment(2)
+        snap = registry.snapshot(prefix="a")
+        # Prefix matches whole dotted components, not raw string prefixes.
+        assert snap == {"a.x": 1}
+        assert registry.snapshot(prefix="ab") == {"ab.y": 2}
+        assert registry.snapshot(prefix="missing") == {}
+
+    def test_scope_snapshot_restricted_to_scope(self):
+        registry = StatsRegistry()
+        registry.scope("bus").counter("flits").increment(4)
+        registry.scope("nic").counter("flits").increment(9)
+        assert registry.scope("bus").snapshot() == {"bus.flits": 4}
+
+    def test_flat_shim_warns_deprecation(self):
+        registry = StatsRegistry()
+        with pytest.warns(DeprecationWarning, match="scope"):
+            registry.counter("legacy")
+        with pytest.warns(DeprecationWarning, match="scope"):
+            registry.histogram("legacy_hist")
+
+    def test_scope_calls_do_not_warn(self):
+        registry = StatsRegistry()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            registry.scope("s").counter("c")
+            registry.scope("s").histogram("h")
+            registry.snapshot()
