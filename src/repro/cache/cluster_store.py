@@ -21,6 +21,10 @@ class ClusterStore:
         self.cluster_index = cluster_index
         self.num_sets = num_sets
         self.ways = ways
+        # Bank faults shrink usable associativity: at most
+        # ``effective_ways`` lines may reside per set.  Equal to ``ways``
+        # (full capacity) unless degraded via set_effective_ways.
+        self.effective_ways = ways
         self._sets: dict[int, list[Optional[LineEntry]]] = {}
         self._plru: dict[int, TreePLRU] = {}
         self.lines_resident = 0
@@ -70,10 +74,27 @@ class ClusterStore:
         transit.
         """
         ways = self._set(index)
-        for way, existing in enumerate(ways):
-            if existing is None:
-                ways[way] = entry
-                self._tree(index).touch(way)
+        if self.effective_ways == self.ways:
+            for way, existing in enumerate(ways):
+                if existing is None:
+                    ways[way] = entry
+                    self._tree(index).touch(way)
+                    self.lines_resident += 1
+                    return None
+        else:
+            # Degraded capacity: a free way only counts when the set is
+            # below its effective associativity.
+            free_way = None
+            occupied = 0
+            for way, existing in enumerate(ways):
+                if existing is None:
+                    if free_way is None:
+                        free_way = way
+                else:
+                    occupied += 1
+            if free_way is not None and occupied < self.effective_ways:
+                ways[free_way] = entry
+                self._tree(index).touch(free_way)
                 self.lines_resident += 1
                 return None
         tree = self._tree(index)
@@ -83,6 +104,20 @@ class ClusterStore:
                 if existing is not None and not existing.in_transit:
                     victim_way = way
                     break
+        if ways[victim_way] is None:
+            # Only reachable under degraded capacity: the PLRU victim
+            # points at a hole.  Evict the first resident line instead,
+            # preferring one not in transit.
+            chosen = None
+            fallback = None
+            for way, existing in enumerate(ways):
+                if existing is not None:
+                    if fallback is None:
+                        fallback = way
+                    if not (avoid_in_transit and existing.in_transit):
+                        chosen = way
+                        break
+            victim_way = chosen if chosen is not None else fallback
         victim = ways[victim_way]
         ways[victim_way] = entry
         tree.touch(victim_way)

@@ -11,8 +11,8 @@ mode).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
 
 from repro.sim.stats import StatsRegistry
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -23,6 +23,9 @@ from repro.cache.line import LineEntry
 from repro.cache.cluster_store import ClusterStore
 from repro.cache.search import SearchPolicy
 from repro.cache.migration import MigrationPolicy, MigrationConfig
+
+if TYPE_CHECKING:
+    from repro.faults.state import FaultState
 
 
 class AccessType(enum.Enum):
@@ -82,6 +85,8 @@ class NucaL2:
         ]
         # Ground truth: line address -> cluster index currently holding it.
         self._location: dict[int, int] = {}
+        # Bank-fault state (None when no faults are injected).
+        self._faults: Optional["FaultState"] = None
 
         scope = self.stats.scope("l2")
         self._hits = scope.counter("hits")
@@ -96,8 +101,28 @@ class NucaL2:
     # -- geometry helpers --------------------------------------------------------
 
     def bank_node(self, cluster_index: int, decoded: DecodedAddress) -> Coord:
-        """Mesh node of the bank holding ``decoded`` within a cluster."""
-        return self.topology.clusters[cluster_index].bank_nodes[decoded.bank]
+        """Mesh node of the bank holding ``decoded`` within a cluster.
+
+        When the addressed bank is dead, the access is remapped to the
+        next alive bank of the same cluster (round-robin scan), so the
+        cluster keeps serving its address range at degraded capacity.
+        """
+        nodes = self.topology.clusters[cluster_index].bank_nodes
+        bank = decoded.bank
+        faults = self._faults
+        if faults is not None and faults.dead_banks:
+            dead = faults.dead_banks
+            if (cluster_index, bank) in dead:
+                total = len(nodes)
+                for step in range(1, total):
+                    candidate = (bank + step) % total
+                    if (cluster_index, candidate) not in dead:
+                        faults.bank_remapped()
+                        return nodes[candidate]
+                raise RuntimeError(
+                    f"all {total} banks of cluster {cluster_index} are dead"
+                )
+        return nodes[bank]
 
     def tag_node(self, cluster_index: int) -> Coord:
         return self.topology.clusters[cluster_index].tag_node
@@ -325,6 +350,79 @@ class NucaL2:
 
     def _note_replica_evicted(self, entry: LineEntry, cluster_index: int) -> None:
         """Hook for the replication extension: a replica was displaced."""
+
+    # -- bank faults --------------------------------------------------------
+
+    def attach_fault_state(self, state: "FaultState") -> None:
+        """Bind bank-fault state; dead banks start degrading on apply."""
+        self._faults = state
+
+    def apply_bank_faults(self) -> int:
+        """Re-derive per-cluster capacity from the live dead-bank set.
+
+        Each cluster's usable associativity shrinks proportionally to its
+        alive banks (a dead bank's storage is gone, not just its port).
+        Lines displaced by the shrink are dropped — they reload as misses
+        on the next access — and counted as ``faults.bank_lines_lost``.
+        Healing restores full associativity; resident lines are kept.
+        Returns the number of lines lost.
+        """
+        faults = self._faults
+        if faults is None:
+            return 0
+        dead_by_cluster: dict[int, int] = {}
+        for cluster_index, __ in faults.dead_banks:
+            dead_by_cluster[cluster_index] = (
+                dead_by_cluster.get(cluster_index, 0) + 1
+            )
+        lost = 0
+        for cluster_index, store in enumerate(self.clusters):
+            total_banks = len(
+                self.topology.clusters[cluster_index].bank_nodes
+            )
+            dead = dead_by_cluster.get(cluster_index, 0)
+            if dead >= total_banks:
+                raise ValueError(
+                    f"all {total_banks} banks of cluster {cluster_index} "
+                    f"are dead; the cluster's address range is unservable"
+                )
+            effective = max(
+                1, (store.ways * (total_banks - dead)) // total_banks
+            )
+            if effective == store.effective_ways:
+                continue
+            grow = effective > store.effective_ways
+            store.effective_ways = effective
+            if grow:
+                continue
+            for index, ways in list(store._sets.items()):
+                occupied = [
+                    way for way, e in enumerate(ways) if e is not None
+                ]
+                excess = len(occupied) - effective
+                if excess <= 0:
+                    continue
+                # Shed from the highest way index down; in-transit lines
+                # are shed too (their migration target slot still exists,
+                # but the data is gone — treat as lost).
+                for way in reversed(occupied):
+                    if excess <= 0:
+                        break
+                    entry = ways[way]
+                    ways[way] = None
+                    store.lines_resident -= 1
+                    excess -= 1
+                    if entry.is_replica:
+                        self._note_replica_evicted(entry, cluster_index)
+                        continue
+                    line = (
+                        self.addr_map.compose(entry.tag, entry.index)
+                        >> self.addr_map.offset_bits
+                    )
+                    self._location.pop(line, None)
+                    faults.bank_lines_lost()
+                    lost += 1
+        return lost
 
     def settle_all(self, cycle: float) -> int:
         """Force-complete every due migration (used at sample boundaries)."""

@@ -36,6 +36,11 @@ from repro.experiments.config import ExperimentScale, current_scale
 from repro.experiments.orchestrator import run_sweep
 from repro.experiments.registry import EXPERIMENT_NAMES, run_experiment
 from repro.experiments.spec import SimSpec, simulate
+from repro.faults.spec import (
+    DEFAULT_WATCHDOG_WINDOW,
+    FaultSpec,
+    parse_fault_arg,
+)
 from repro.sim.trace import TraceSpec, write_trace
 
 _PLACEMENTS = {policy.value: policy for policy in PlacementPolicy}
@@ -136,6 +141,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="record only tracks matching this component glob "
              "(e.g. 'router.*', 'pillar.3.3')",
     )
+    run.add_argument(
+        "--fault", action="append", default=None,
+        metavar="KIND:TARGET[@ONSET][+DURATION]",
+        help="inject an explicit fault (repeatable); e.g. 'pillar:3,3', "
+             "'link:2,1,0,east@1000', 'router_port:1,1,0,north@500+2000', "
+             "'bank:4,7'",
+    )
+    run.add_argument("--dead-pillars", type=int, default=0,
+                     help="additionally kill this many random pillars")
+    run.add_argument("--dead-links", type=int, default=0,
+                     help="additionally kill this many random mesh links "
+                          "(cycle mode only)")
+    run.add_argument("--dead-banks", type=int, default=0,
+                     help="additionally kill this many random L2 banks")
+    run.add_argument("--fault-onset", type=int, default=0,
+                     help="onset cycle for the random faults")
+    run.add_argument(
+        "--watchdog-window", type=int, default=DEFAULT_WATCHDOG_WINDOW,
+        help="liveness watchdog window in cycles (0 disables; only "
+             "meaningful with faults in cycle mode)",
+    )
     _add_profile_args(run)
 
     sweep = sub.add_parser(
@@ -155,6 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-mb", type=int, nargs="+", default=[16])
     sweep.add_argument("--layers", type=int, nargs="+", default=[2])
     sweep.add_argument("--pillars", type=int, nargs="+", default=[8])
+    sweep.add_argument(
+        "--dead-pillars", type=int, nargs="+", default=[0],
+        help="degradation axis: random dead pillars per cell "
+             "(0 = fault-free)",
+    )
     sweep.add_argument(
         "--refs", type=int, default=None,
         help="references per CPU (default: the ambient REPRO_SCALE)",
@@ -210,6 +241,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             limit=args.trace_limit,
             component_filter=args.trace_filter,
         )
+    fault_spec = None
+    if (
+        args.fault
+        or args.dead_pillars
+        or args.dead_links
+        or args.dead_banks
+    ):
+        fault_spec = FaultSpec(
+            events=tuple(
+                parse_fault_arg(text) for text in (args.fault or ())
+            ),
+            dead_pillars=args.dead_pillars,
+            dead_links=args.dead_links,
+            dead_banks=args.dead_banks,
+            onset=args.fault_onset,
+            watchdog_window=args.watchdog_window,
+        )
     spec = SimSpec.make(
         args.scheme,
         args.benchmark,
@@ -219,6 +267,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cache_mb=args.cache_mb,
         mode=mode,
         trace=trace_spec,
+        faults=fault_spec,
     )
     system, stats = simulate(spec)
     if args.trace:
@@ -244,6 +293,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"migrations:        {stats.migrations:,}")
     print(f"IPC (aggregate):   {stats.ipc:.3f}")
     print(f"L1 miss rate:      {stats.l1_miss_rate:.1%}")
+    harness = system.fault_harness
+    if harness is not None and harness.state is not None:
+        degradation = harness.state.summary()
+        print(f"faults injected:   {stats.faults_injected}")
+        print(f"packets lost:      {degradation['packets_lost']:,} "
+              f"({degradation['unreachable']:,} unreachable)")
     if args.energy:
         print()
         print(energy_report(system, stats))
@@ -262,6 +317,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         SimSpec.make(
             scheme, benchmark, scale=scale,
             cache_mb=cache_mb, layers=layers, pillars=pillars,
+            faults=(
+                FaultSpec(dead_pillars=dead_pillars)
+                if dead_pillars else None
+            ),
             **overrides,
         )
         for scheme in args.schemes
@@ -269,6 +328,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for cache_mb in args.cache_mb
         for layers in args.layers
         for pillars in args.pillars
+        for dead_pillars in args.dead_pillars
     ]
     progress = None
     if not args.quiet and not args.json:
@@ -296,6 +356,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{spec.cache_mb}",
             f"{spec.layers}",
             f"{spec.pillars}",
+            (f"{spec.faults.dead_pillars}" if spec.faults is not None
+             else "0"),
             f"{stats.avg_l2_hit_latency:.1f}",
             f"{stats.l2_hit_rate:.1%}",
             f"{stats.ipc:.3f}",
@@ -305,7 +367,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ]
     print(
         format_table(
-            ["scheme", "benchmark", "MB", "layers", "pillars",
+            ["scheme", "benchmark", "MB", "layers", "pillars", "dead",
              "hit lat", "hit rate", "IPC", "migr"],
             rows,
             title="Sweep results",

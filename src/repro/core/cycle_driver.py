@@ -54,6 +54,19 @@ class CyclePricer:
 
     # -- helpers ------------------------------------------------------------
 
+    def _leg_latency(self, packet) -> float:
+        """Delivered latency, or the loss penalty for a dropped packet.
+
+        Under fault injection a leg can be lost (dead-pillar blackhole or
+        unreachable destination).  The requester does not wait forever: a
+        lost leg is priced as one off-chip-memory-sized penalty — the
+        detection/retry cost — so degraded runs complete with degraded
+        latency instead of hanging.
+        """
+        if packet.lost:
+            return float(self.cfg.memory_latency)
+        return float(packet.latency)
+
     def _leg(
         self,
         src: Coord,
@@ -61,16 +74,17 @@ class CyclePricer:
         size_flits: int,
         message_class: MessageClass = MessageClass.REQUEST,
     ) -> float:
-        """Send one packet and run the fabric until it arrives."""
+        """Send one packet and run the fabric until it arrives (or dies)."""
         if src == dest:
             return 0.0
         packet = self.network.send(
             src, dest, size_flits=size_flits, message_class=message_class
         )
         self.network.engine.run_until(
-            lambda: packet.ejected_cycle is not None, max_cycles=1_000_000
+            lambda: packet.ejected_cycle is not None or packet.lost,
+            max_cycles=1_000_000,
         )
-        return float(packet.latency)
+        return self._leg_latency(packet)
 
     def _fire_and_forget(
         self, src: Coord, dest: Coord, size_flits: int,
@@ -172,11 +186,13 @@ class CyclePricer:
         worst = float(cfg.tag_latency)
         for packet, target in packets:
             self.network.engine.run_until(
-                lambda p=packet: p.ejected_cycle is not None,
+                lambda p=packet: p.ejected_cycle is not None or p.lost,
                 max_cycles=1_000_000,
             )
             reply = self._leg(target, cpu_node, cfg.request_flits)
-            worst = max(worst, float(packet.latency) + cfg.tag_latency + reply)
+            worst = max(
+                worst, self._leg_latency(packet) + cfg.tag_latency + reply
+            )
         return worst
 
     def _data_phase(

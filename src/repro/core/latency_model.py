@@ -25,10 +25,13 @@ The q-constants are calibrated against the cycle-accurate simulator
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.noc.routing import Coord, best_pillar
 from repro.core.chip import ChipTopology
+
+if TYPE_CHECKING:
+    from repro.faults.state import FaultState
 
 
 @dataclass
@@ -68,6 +71,27 @@ class LatencyModel:
         self.bus_flits_by_pillar: dict[tuple[int, int], float] = {
             xy: 0.0 for xy in topology.pillar_xys
         }
+        # Pillar faults: the alive-pillar tuple is re-derived lazily,
+        # keyed by the fault state's epoch (None = fault-free).
+        self._faults: Optional["FaultState"] = None
+        self._alive_pillars = tuple(topology.pillar_xys)
+        self._alive_epoch = -1
+
+    def attach_fault_state(self, state: "FaultState") -> None:
+        """Bind pillar-fault state; dead pillars leave the route pool."""
+        self._faults = state
+
+    def _pillar_pool(self) -> tuple[tuple[int, int], ...]:
+        faults = self._faults
+        if faults is None:
+            return self._alive_pillars
+        if faults.epoch != self._alive_epoch:
+            self._alive_pillars = tuple(
+                xy for xy in self.topology.pillar_xys
+                if xy not in faults.dead_pillars
+            )
+            self._alive_epoch = faults.epoch
+        return self._alive_pillars
 
     # -- geometry -------------------------------------------------------------
 
@@ -75,7 +99,7 @@ class LatencyModel:
         """(mesh hops, pillar used or None) for the dimension-order path."""
         if src.z == dest.z:
             return src.manhattan_2d(dest), None
-        pillar = best_pillar(src, dest, self.topology.pillar_xys)
+        pillar = best_pillar(src, dest, self._pillar_pool())
         px, py = pillar
         hops = (
             abs(src.x - px) + abs(src.y - py)

@@ -30,13 +30,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, TYPE_CHECKING
 
 from repro.sim.stats import StatsRegistry
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.noc.fabric import FabricKind
 from repro.noc.routing import Coord
-from repro.core.chip import ChipConfig, ChipTopology
+from repro.core.chip import ChipTopology
 from repro.core.placement import PlacementPolicy, build_topology
 from repro.core.schemes import Scheme, SchemeSetup, make_chip_config
 from repro.core.latency_model import LatencyModel, LatencyModelConfig
@@ -46,6 +46,10 @@ from repro.coherence.protocol import CoherentL1System
 from repro.coherence.l1cache import L1Config
 from repro.cpu.core import InOrderCore
 from repro.cpu.trace import OP_READ, OP_WRITE, OP_IFETCH, TraceEvent
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultHarness
+    from repro.faults.spec import FaultSpec
 
 _OP_TO_TYPE = {
     OP_READ: AccessType.READ,
@@ -97,6 +101,13 @@ class SystemConfig:
     # Pin CPUs to explicit coordinates (Fig 17 holds the floorplan fixed
     # while the via budget — the pillar count — varies).
     cpu_positions_override: Optional[dict[int, "Coord"]] = None
+    # Fault injection: a FaultSpec degrades the fabric/cache (dead
+    # pillars, links, router ports, banks) with graceful-degradation
+    # accounting.  None = fault-unaware run (bit-identical to the seed
+    # behaviour).  Random fault targets resolve deterministically from
+    # ``fault_seed`` (the SimSpec seed when driven by a spec).
+    faults: Optional["FaultSpec"] = None
+    fault_seed: int = 2006
 
     def validate(self) -> None:
         if self.mode not in ("model", "cycle"):
@@ -185,6 +196,10 @@ class NetworkInMemory:
             self.model = LatencyModel(self.topology, self.config.latency_model)
             self.pricer = CyclePricer(self)
 
+        self.fault_harness: Optional["FaultHarness"] = None
+        if self.config.faults is not None:
+            self._install_faults()
+
         l2_scope = self.stats.scope("l2")
         self.hit_latency = l2_scope.histogram("hit_latency", 1.0, 512)
         self.miss_latency = l2_scope.histogram("miss_latency", 2.0, 512)
@@ -193,6 +208,88 @@ class NetworkInMemory:
         self._l2_ifetches = l2_scope.counter("ifetch_transactions")
         self._invalidations = self.stats.scope("coherence").counter(
             "invalidations"
+        )
+
+    # -- fault injection -----------------------------------------------------
+
+    def _bank_targets(self) -> tuple[tuple[int, int], ...]:
+        """Random-draw candidate pool for bank faults: every (cluster, bank)."""
+        return tuple(
+            (cluster.index, bank)
+            for cluster in self.topology.clusters
+            for bank in range(len(cluster.bank_nodes))
+        )
+
+    def _install_faults(self) -> None:
+        """Apply ``config.faults`` to whichever timing backend is live.
+
+        Cycle mode installs the full machinery (injector events on the
+        fabric engine, liveness watchdog, fault-aware routing) on the
+        pricer's network; bank faults additionally reach the NUCA cache.
+        Model mode has no per-link state, so it supports only permanent
+        onset-0 pillar and bank faults: the latency model drops dead
+        pillars from its route pool and the cache degrades immediately.
+        """
+        spec = self.config.faults
+        seed = self.config.fault_seed
+        banks = self._bank_targets()
+        if self.config.mode == "cycle":
+            from repro.faults.injector import install_network_faults
+
+            self.fault_harness = install_network_faults(
+                self.pricer.network,
+                spec,
+                seed,
+                banks=banks,
+                on_bank_change=self.l2.apply_bank_faults,
+                stats=self.stats,
+                tracer=self.tracer,
+            )
+            if self.fault_harness.state is not None:
+                self.l2.attach_fault_state(self.fault_harness.state)
+            return
+
+        from repro.faults.injector import FaultHarness
+        from repro.faults.state import FaultState
+
+        # Reject mesh-fault requests before resolution: the random-draw
+        # pools for links don't even exist here, and "cannot draw from 0
+        # candidates" is a worse diagnostic than naming the mode.
+        if spec.dead_links or any(
+            event.kind in ("link", "router_port") for event in spec.events
+        ):
+            raise ValueError(
+                "link/router_port faults require mode='cycle' (the "
+                "analytic model carries no per-link state)"
+            )
+        resolved = spec.resolve(
+            seed, pillars=tuple(self.topology.pillar_xys), banks=banks
+        )
+        if not resolved:
+            return
+        for event in resolved:
+            if event.kind in ("link", "router_port"):
+                raise ValueError(
+                    f"{event.kind} faults require mode='cycle' (the "
+                    f"analytic model carries no per-link state)"
+                )
+            if event.onset or event.duration is not None:
+                raise ValueError(
+                    "model mode supports only permanent onset-0 faults; "
+                    "use mode='cycle' for timed fault schedules"
+                )
+        state = FaultState(stats=self.stats, tracer=self.tracer)
+        self.model.attach_fault_state(state)
+        self.l2.attach_fault_state(state)
+        for event in resolved:
+            target = (event.target[0], event.target[1])
+            if event.kind == "pillar":
+                state.fail_pillar(target)
+            else:
+                state.fail_bank(target)
+        self.l2.apply_bank_faults()
+        self.fault_harness = FaultHarness(
+            state=state, injector=None, watchdog=None
         )
 
     # -- one L2 transaction ---------------------------------------------------
@@ -311,6 +408,15 @@ class NetworkInMemory:
         total_instructions = sum(c.instructions for c in cores)
         max_clock = max((c.measured_cycles for c in cores), default=0.0)
         snapshot = self.stats.snapshot()
+        # Faults active at collection time come from the live fault sets,
+        # not the (warmup-reset) counters: injection is configuration.
+        faults_active = 0
+        if self.fault_harness is not None and self.fault_harness.state:
+            state = self.fault_harness.state
+            faults_active = (
+                len(state.dead_pillars) + len(state.dead_links)
+                + len(state.jammed_ports) + len(state.dead_banks)
+            )
         return RunStats(
             scheme=self.config.scheme,
             avg_l2_hit_latency=self.hit_latency.mean,
@@ -326,6 +432,8 @@ class NetworkInMemory:
             invalidations=self._invalidations.value,
             instructions=total_instructions,
             cycles=max_clock,
+            packets_lost=int(snapshot.get("faults.packets_lost", 0)),
+            faults_injected=faults_active,
         )
 
 
@@ -347,6 +455,9 @@ class RunStats:
     invalidations: int
     instructions: float
     cycles: float
+    # Fault-injection degradation accounting (0 on fault-free runs).
+    packets_lost: int = 0
+    faults_injected: int = 0
 
     @property
     def l2_accesses(self) -> int:
@@ -380,6 +491,8 @@ class RunStats:
             "invalidations": self.invalidations,
             "instructions": self.instructions,
             "cycles": self.cycles,
+            "packets_lost": self.packets_lost,
+            "faults_injected": self.faults_injected,
         }
 
     @classmethod

@@ -70,6 +70,34 @@ class DynamicTDMAArbiter:
         self._position[client] = len(self.clients)
         self.clients.append(client)
 
+    def remove_client(self, client: Hashable) -> None:
+        """Reclaim ``client``'s slot from the TDMA frame.
+
+        Used when a transceiver dies (pillar/TSV fault): the frame shrinks
+        so surviving clients immediately share the reclaimed bandwidth.
+        Round-robin priority is preserved — the client after the removed
+        one in circular order is next in line — and the utilization
+        counters (grants/idle) are untouched, so bandwidth accounting
+        stays consistent across the removal.  Removing every client is
+        permitted (a fully dead bus); :meth:`grant` then always returns
+        ``None``.
+        """
+        index = self._position.pop(client, None)
+        if index is None:
+            raise ValueError(f"unknown client {client!r}")
+        del self.clients[index]
+        for other, position in self._position.items():
+            if position > index:
+                self._position[other] = position - 1
+        count = len(self.clients)
+        if count == 0:
+            self._last_granted_index = -1
+        elif self._last_granted_index > index:
+            self._last_granted_index -= 1
+        elif self._last_granted_index == index:
+            # Priority passes to the removed client's circular successor.
+            self._last_granted_index = (index - 1) % count
+
     def grant(
         self, active: set[Hashable], cycle: int = 0
     ) -> Optional[Hashable]:

@@ -16,7 +16,7 @@ packets never interleave within a receiving VC.
 from __future__ import annotations
 
 import functools
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.sim.engine import ClockedComponent, Engine
 from repro.sim.stats import StatsRegistry
@@ -27,6 +27,9 @@ from repro.noc.router import Router, InputPort
 from repro.noc.routing import Port
 from repro.dtdma.arbiter import DynamicTDMAArbiter
 from repro.dtdma.transceiver import Transceiver
+
+if TYPE_CHECKING:
+    from repro.faults.state import FaultState
 
 # A bus client is one (layer, vc) transmit queue.
 Client = tuple[int, int]
@@ -124,6 +127,14 @@ class PillarBus(ClockedComponent):
             clients, stats=self.stats, tracer=self._tracer, track=self._track
         )
         self._granted: Optional[Client] = None
+        # Pillar/TSV fault state: a failing bus first *drains* — only
+        # packets already mid-transfer keep their slots, preserving
+        # wormhole integrity — then dies: queued/arriving traffic is
+        # dropped with loss accounting and the arbiter frame shrinks to
+        # zero (slot reclamation).
+        self._dead = False
+        self._draining = False
+        self._fault_state: Optional["FaultState"] = None
         scope = self.stats.scope("bus")
         self._busy = scope.counter("busy_cycles")
         self._cycles = scope.counter("total_cycles")
@@ -157,6 +168,76 @@ class PillarBus(ClockedComponent):
 
     def _return_rx_credit(self, layer: int, vc: int) -> None:
         self._rx_credits[layer][vc] += 1
+
+    # -- pillar faults ------------------------------------------------------
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def fail(self, cycle: int, state: "FaultState") -> None:
+        """Begin pillar death: drain in-progress packets, then go dark."""
+        if self._dead or self._draining:
+            return
+        self._fault_state = state
+        self._draining = True
+        self.wake()
+        if all(owner is None for owner in self._vc_owner.values()):
+            self._complete_death(cycle)
+
+    def heal(self, cycle: int) -> None:
+        """Transient-fault recovery: the bus resumes with a fresh frame."""
+        if self._draining:
+            # Heal raced the drain; the bus never fully died.
+            self._draining = False
+            self.wake()
+            return
+        if not self._dead:
+            return
+        self._dead = False
+        for transceiver in self.transceivers.values():
+            transceiver.dead = False
+            transceiver.on_drop = None
+        for layer in self.layers:
+            for vc in range(self.num_vcs):
+                self.arbiter.add_client((layer, vc))
+        self.wake()
+
+    def _drop_flit(self, flit: Flit) -> None:
+        state = self._fault_state
+        state.flit_dropped()
+        if flit.is_tail:
+            state.packet_lost(flit.packet)
+
+    def _blackhole(self, transceiver: Transceiver, flit: Flit, vc: int) -> None:
+        # The router upstream consumed a credit to send this flit;
+        # return it so the mesh keeps draining toward the dead pillar
+        # instead of backpressuring into a secondary deadlock.
+        transceiver.credit_return(vc)
+        self._drop_flit(flit)
+
+    def _complete_death(self, cycle: int) -> None:
+        """Purge queued traffic, reclaim every slot, start blackholing."""
+        for transceiver in self.transceivers.values():
+            for vc in range(self.num_vcs):
+                queue = transceiver.queues[vc]
+                while queue:
+                    # pop() returns the tx credit to the router's
+                    # VERTICAL output port, freeing its buffers.
+                    self._drop_flit(transceiver.pop(vc))
+            transceiver.dead = True
+            transceiver.on_drop = functools.partial(
+                self._blackhole, transceiver
+            )
+        for client in list(self.arbiter.clients):
+            self.arbiter.remove_client(client)
+        self._granted = None
+        self._draining = False
+        self._dead = True
 
     # -- per-cycle operation -----------------------------------------------
 
@@ -195,6 +276,14 @@ class PillarBus(ClockedComponent):
             for client in self.arbiter.clients
             if self._deliverable(client)
         }
+        if self._draining:
+            # Drain mode: only clients mid-packet (holding a bus-level
+            # VC) keep transmitting; no new packet may start.
+            active &= {
+                owner
+                for owner in self._vc_owner.values()
+                if owner is not None
+            }
         self._queue_hist.add(
             sum(t.occupancy for t in self.transceivers.values())
         )
@@ -202,6 +291,10 @@ class PillarBus(ClockedComponent):
 
     def advance(self, cycle: int) -> None:
         if self._granted is None:
+            if self._draining and all(
+                owner is None for owner in self._vc_owner.values()
+            ):
+                self._complete_death(cycle)
             return
         layer, vc = self._granted
         flit = self.transceivers[layer].pop(vc)
@@ -232,8 +325,17 @@ class PillarBus(ClockedComponent):
         self._busy.increment()
         self._transfers.increment()
         self._granted = None
+        if self._draining and all(
+            owner is None for owner in self._vc_owner.values()
+        ):
+            self._complete_death(cycle)
 
     # -- reporting ----------------------------------------------------------
+
+    @property
+    def transfers(self) -> int:
+        """Flits carried so far (liveness-watchdog progress signal)."""
+        return self._transfers.value
 
     @property
     def utilization(self) -> float:

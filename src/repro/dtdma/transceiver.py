@@ -33,8 +33,17 @@ class Transceiver:
         # Wired to the owning bus's wake() so an enqueue re-activates an
         # idle bus in the activity-tracked kernel.
         self.wake: Optional[Callable[[], None]] = None
+        # Pillar-fault blackhole: a dead transceiver discards arriving
+        # flits via the bus's drop hook (credits still return so the
+        # mesh drains) instead of queueing them.
+        self.dead = False
+        self.on_drop: Optional[Callable[[Flit, int], None]] = None
 
     def accept(self, flit: Flit, vc: int) -> None:
+        if self.dead:
+            if self.on_drop is not None:
+                self.on_drop(flit, vc)
+            return
         queue = self.queues[vc]
         if len(queue) >= self.depth:
             raise RuntimeError(

@@ -107,7 +107,10 @@ class CellFailure:
     """Structured record of one cell that could not produce a result."""
 
     spec: SimSpec
-    kind: str              # "error" | "timeout" | "crash"
+    # "error" | "timeout" | "crash", plus the structured simulation
+    # failure kinds: "stall" (run_until budget exhausted) and
+    # "deadlock" (the liveness watchdog detected no forward progress).
+    kind: str
     message: str
     attempts: int
 
@@ -179,6 +182,18 @@ def _run_cell(spec: SimSpec, trace_dir: Optional[str]) -> RunStats:
     return stats
 
 
+def _failure_kind(exc: BaseException) -> str:
+    """Structured failure classification for a cell exception.
+
+    Simulation errors that carry a ``failure_kind`` attribute
+    (:class:`~repro.sim.engine.SimulationStallError` and its
+    :class:`~repro.faults.watchdog.DeadlockError` subclass) surface it;
+    everything else is a generic ``"error"``.
+    """
+    kind = getattr(exc, "failure_kind", "error")
+    return kind if isinstance(kind, str) else "error"
+
+
 def _cell_entry(spec_dict: dict, conn, trace_dir: Optional[str] = None) -> None:
     """Worker-process entry: simulate one cell, ship the result back."""
     try:
@@ -186,7 +201,8 @@ def _cell_entry(spec_dict: dict, conn, trace_dir: Optional[str] = None) -> None:
         stats = _run_cell(spec, trace_dir)
         conn.send(("ok", stats.to_dict()))
     except BaseException as exc:  # report, don't die silently
-        conn.send(("error", f"{type(exc).__name__}: {exc}",
+        conn.send(("error", _failure_kind(exc),
+                   f"{type(exc).__name__}: {exc}",
                    traceback.format_exc(limit=8)))
     finally:
         conn.close()
@@ -267,7 +283,7 @@ def run_sweep(
                 finish(spec, cell(spec))
             except Exception as exc:
                 summary.failures.append(
-                    CellFailure(spec, "error",
+                    CellFailure(spec, _failure_kind(exc),
                                 f"{type(exc).__name__}: {exc}", attempts=1)
                 )
                 say(f"FAILED {spec.label()}: {exc}")
@@ -359,11 +375,11 @@ def _run_parallel(
                     finish(pending[slot.index],
                            RunStats.from_dict(payload[1]))
                 else:
-                    __, message, trace = payload
+                    __, kind, message, trace = payload
                     spec = pending[slot.index]
                     summary.failures.append(
                         CellFailure(
-                            spec, "error", f"{message}\n{trace}",
+                            spec, kind, f"{message}\n{trace}",
                             attempts=attempts[slot.index],
                         )
                     )

@@ -34,6 +34,7 @@ from typing import Optional
 
 from repro.core.schemes import Scheme
 from repro.core.system import NetworkInMemory, RunStats, SystemConfig
+from repro.faults.spec import FaultSpec
 from repro.sim.rng import derive_seed
 from repro.sim.trace import TraceSpec
 from repro.experiments.config import ExperimentScale, current_scale
@@ -65,6 +66,11 @@ class SimSpec:
     # RingTracer to the system, so a single sweep cell can be traced
     # reproducibly.  None (default) keeps the NullTracer.
     trace: Optional[TraceSpec] = None
+    # Fault injection opt-in: a FaultSpec degrades the cell (dead
+    # pillars/links/banks, jammed ports) with random targets resolved
+    # deterministically from the cell seed.  None (default) keeps the
+    # run fault-unaware and every pre-existing spec hash unchanged.
+    faults: Optional[FaultSpec] = None
 
     @classmethod
     def make(
@@ -105,6 +111,8 @@ class SimSpec:
             data["mode"] = self.mode
         if self.trace is not None:
             data["trace"] = self.trace.to_dict()
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
         return data
 
     @classmethod
@@ -128,6 +136,11 @@ class SimSpec:
             trace=(
                 TraceSpec.from_dict(data["trace"])
                 if data.get("trace") is not None
+                else None
+            ),
+            faults=(
+                FaultSpec.from_dict(data["faults"])
+                if data.get("faults") is not None
                 else None
             ),
         )
@@ -174,6 +187,8 @@ class SimSpec:
             extras.append(f"{self.layers}L")
         if self.pillars != 8:
             extras.append(f"{self.pillars}p")
+        if self.faults is not None and not self.faults.is_zero:
+            extras.append("faulty")
         suffix = f" [{','.join(extras)}]" if extras else ""
         return f"{self.scheme.value}/{self.benchmark}{suffix}"
 
@@ -191,6 +206,8 @@ def build_system_config(spec: SimSpec) -> SystemConfig:
         num_pillars=spec.pillars,
         num_cpus=spec.num_cpus,
         mode=spec.mode,
+        faults=spec.faults,
+        fault_seed=spec.seed,
     )
     if spec.fixed_floorplan:
         config.cpu_positions_override = _reference_positions(spec)

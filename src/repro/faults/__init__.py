@@ -1,0 +1,38 @@
+"""Deterministic fault injection and graceful-degradation machinery.
+
+See :mod:`repro.faults.spec` for the fault taxonomy and determinism
+contract, :mod:`repro.faults.state` for the live fault map the
+tolerance mechanisms consult, :mod:`repro.faults.injector` for schedule
+application, and :mod:`repro.faults.watchdog` for deadlock detection.
+"""
+
+from repro.faults.spec import (
+    DEFAULT_WATCHDOG_WINDOW,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSpec,
+    mesh_link_targets,
+    parse_fault_arg,
+)
+from repro.faults.state import FaultState
+from repro.faults.injector import (
+    FaultHarness,
+    FaultInjector,
+    install_network_faults,
+)
+from repro.faults.watchdog import DeadlockError, LivenessWatchdog
+
+__all__ = [
+    "DEFAULT_WATCHDOG_WINDOW",
+    "FAULT_KINDS",
+    "DeadlockError",
+    "FaultEvent",
+    "FaultHarness",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultState",
+    "LivenessWatchdog",
+    "install_network_faults",
+    "mesh_link_targets",
+    "parse_fault_arg",
+]

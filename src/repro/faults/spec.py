@@ -1,0 +1,275 @@
+"""Declarative fault-injection specifications.
+
+A :class:`FaultSpec` rides on :class:`~repro.experiments.spec.SimSpec`
+exactly like ``TraceSpec``: it is frozen, serializes with defaults
+omitted so spec hashes stay stable, and derives every random choice from
+the spec seed via :func:`repro.sim.rng.derive_seed` — the same spec
+always injects the same faults, in serial or parallel sweeps alike.
+
+Fault taxonomy (``FaultEvent.kind``):
+
+``"pillar"``
+    A dTDMA pillar/TSV failure at ``target=(x, y)``.  The bus finishes
+    any in-progress packet transfers (wormhole integrity), drops queued
+    and subsequently arriving traffic with loss accounting, and the
+    arbiter reclaims every slot (degraded vertical bandwidth).  New
+    inter-layer traffic reroutes through surviving pillars.
+``"link"``
+    A directed mesh link failure at ``target=(x, y, z, port)``.  The
+    link fails *for new traffic*: head flits not yet routed avoid it
+    (minimal misroute onto the other productive dimension) while
+    in-flight wormholes drain; destinations with no surviving
+    productive port are dropped with unreachable accounting.
+``"router_port"``
+    A jammed router output port at ``target=(x, y, z, port)``: the port
+    stops granting entirely, with no reroute.  Backpressure propagates —
+    this is the deterministic deadlock seeder the liveness watchdog is
+    tested against.
+``"bank"``
+    A NUCA bank failure at ``target=(cluster, bank)``.  Accesses remap
+    to the cluster's surviving banks and the cluster's effective
+    associativity degrades proportionally (capacity-degraded placement).
+
+``duration=None`` means permanent; a transient fault heals at
+``onset + duration``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.rng import make_rng
+from repro.noc.routing import PORT_DELTA
+
+FAULT_KINDS = ("pillar", "link", "router_port", "bank")
+
+# Target tuple arity per fault kind (see the module docstring).
+_TARGET_LENGTHS = {"pillar": 2, "link": 4, "router_port": 4, "bank": 2}
+
+_PORT_NAMES = ("north", "south", "east", "west", "vertical")
+
+DEFAULT_WATCHDOG_WINDOW = 20_000
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One concrete fault: what breaks, where, when, and for how long."""
+
+    kind: str
+    target: tuple
+    onset: int = 0
+    duration: Optional[int] = None  # None = permanent
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {list(FAULT_KINDS)}"
+            )
+        object.__setattr__(self, "target", tuple(self.target))
+        expected = _TARGET_LENGTHS[self.kind]
+        if len(self.target) != expected:
+            raise ValueError(
+                f"{self.kind} fault target must have {expected} elements, "
+                f"got {self.target!r}"
+            )
+        if self.kind in ("link", "router_port"):
+            port = self.target[3]
+            if port not in _PORT_NAMES:
+                raise ValueError(
+                    f"bad port {port!r} in {self.kind} target; "
+                    f"choose from {list(_PORT_NAMES)}"
+                )
+        if self.onset < 0:
+            raise ValueError("fault onset must be non-negative")
+        if self.duration is not None and self.duration < 1:
+            raise ValueError("transient fault duration must be positive")
+
+    @property
+    def heal_cycle(self) -> Optional[int]:
+        if self.duration is None:
+            return None
+        return self.onset + self.duration
+
+    def to_dict(self) -> dict:
+        data: dict = {"kind": self.kind, "target": list(self.target)}
+        if self.onset:
+            data["onset"] = self.onset
+        if self.duration is not None:
+            data["duration"] = self.duration
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        return cls(
+            kind=data["kind"],
+            target=tuple(data["target"]),
+            onset=data.get("onset", 0),
+            duration=data.get("duration"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault-injection request, embeddable in a ``SimSpec``.
+
+    ``events`` are explicit faults.  ``dead_pillars`` / ``dead_links`` /
+    ``dead_banks`` additionally draw that many random targets at
+    :meth:`resolve` time, deterministically from the spec seed, all with
+    onset ``onset`` — the degradation-sweep axes ("IPC vs. number of
+    dead pillars") without enumerating coordinates by hand.
+
+    ``watchdog_window`` configures the liveness watchdog: a
+    :class:`~repro.faults.watchdog.DeadlockError` is raised if packets
+    are in flight but nothing moves for that many cycles.  ``0``
+    disables the watchdog.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    dead_pillars: int = 0
+    dead_links: int = 0
+    dead_banks: int = 0
+    onset: int = 0
+    watchdog_window: int = DEFAULT_WATCHDOG_WINDOW
+
+    def __post_init__(self) -> None:
+        events = tuple(
+            event if isinstance(event, FaultEvent)
+            else FaultEvent.from_dict(event)
+            for event in self.events
+        )
+        object.__setattr__(self, "events", events)
+        for name in ("dead_pillars", "dead_links", "dead_banks", "onset"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.watchdog_window < 0:
+            raise ValueError("watchdog_window must be non-negative")
+
+    @property
+    def is_zero(self) -> bool:
+        """No faults requested (the watchdog alone does not count)."""
+        return (
+            not self.events
+            and self.dead_pillars == 0
+            and self.dead_links == 0
+            and self.dead_banks == 0
+        )
+
+    # -- deterministic schedule resolution ------------------------------
+
+    def resolve(
+        self,
+        seed: int,
+        *,
+        pillars: tuple[tuple[int, int], ...] = (),
+        links: tuple[tuple, ...] = (),
+        banks: tuple[tuple[int, int], ...] = (),
+    ) -> tuple[FaultEvent, ...]:
+        """Concretize the spec into a sorted, fully explicit schedule.
+
+        Random targets are drawn without replacement from the sorted
+        candidate pools via ``make_rng(derive_seed(seed, "faults"))``, so
+        the schedule is a pure function of ``(spec, seed)`` — same spec
+        hash ⇒ identical faults, regardless of process or order.
+        """
+        events = list(self.events)
+        explicit = {(event.kind, event.target) for event in events}
+        rng = make_rng(seed, "faults")
+
+        def draw(kind: str, count: int, pool) -> None:
+            if count == 0:
+                return
+            candidates = [
+                tuple(target) for target in sorted(pool)
+                if (kind, tuple(target)) not in explicit
+            ]
+            if count > len(candidates):
+                raise ValueError(
+                    f"cannot draw {count} random {kind} faults from "
+                    f"{len(candidates)} candidates"
+                )
+            picks = rng.choice(len(candidates), size=count, replace=False)
+            for index in sorted(int(i) for i in picks):
+                events.append(
+                    FaultEvent(kind, candidates[index], onset=self.onset)
+                )
+
+        draw("pillar", self.dead_pillars, pillars)
+        draw("link", self.dead_links, links)
+        draw("bank", self.dead_banks, banks)
+        events.sort(key=lambda event: (event.onset, event.kind, event.target))
+        return tuple(events)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data: dict = {}
+        if self.events:
+            data["events"] = [event.to_dict() for event in self.events]
+        for name in ("dead_pillars", "dead_links", "dead_banks", "onset"):
+            value = getattr(self, name)
+            if value:
+                data[name] = value
+        if self.watchdog_window != DEFAULT_WATCHDOG_WINDOW:
+            data["watchdog_window"] = self.watchdog_window
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(
+            events=tuple(
+                FaultEvent.from_dict(event)
+                for event in data.get("events", ())
+            ),
+            dead_pillars=data.get("dead_pillars", 0),
+            dead_links=data.get("dead_links", 0),
+            dead_banks=data.get("dead_banks", 0),
+            onset=data.get("onset", 0),
+            watchdog_window=data.get(
+                "watchdog_window", DEFAULT_WATCHDOG_WINDOW
+            ),
+        )
+
+
+def mesh_link_targets(
+    width: int, height: int, layers: int
+) -> tuple[tuple[int, int, int, str], ...]:
+    """All directed mesh-link fault targets of a ``width x height x layers``
+    topology, in deterministic order (the random-draw candidate pool)."""
+    targets = []
+    for z in range(layers):
+        for y in range(height):
+            for x in range(width):
+                for port, (dx, dy) in PORT_DELTA.items():
+                    if 0 <= x + dx < width and 0 <= y + dy < height:
+                        targets.append((x, y, z, port.value))
+    return tuple(sorted(targets))
+
+
+def parse_fault_arg(text: str) -> FaultEvent:
+    """Parse a CLI fault argument: ``kind:target[@onset][+duration]``.
+
+    Examples: ``pillar:3,3``, ``link:2,1,0,east@1000``,
+    ``router_port:1,1,0,north@500+2000``, ``bank:4,7``.
+    """
+    head, sep, rest = text.partition(":")
+    if not sep:
+        raise ValueError(
+            f"bad fault {text!r}: expected kind:target[@onset][+duration]"
+        )
+    kind = head.strip()
+    duration: Optional[int] = None
+    onset = 0
+    if "+" in rest:
+        rest, __, dur_text = rest.rpartition("+")
+        duration = int(dur_text)
+    if "@" in rest:
+        rest, __, onset_text = rest.rpartition("@")
+        onset = int(onset_text)
+    fields = [part.strip() for part in rest.split(",")]
+    target = tuple(
+        part if not part.lstrip("-").isdigit() else int(part)
+        for part in fields
+    )
+    return FaultEvent(kind=kind, target=target, onset=onset, duration=duration)

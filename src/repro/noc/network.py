@@ -9,8 +9,8 @@ network the paper compares against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, TYPE_CHECKING
 
 from repro.sim.engine import Engine
 from repro.sim.stats import StatsRegistry
@@ -22,6 +22,9 @@ from repro.noc.packet import FlitPool, Packet, MessageClass
 from repro.noc.router import Router, connect
 from repro.noc.routing import Coord, Port, best_pillar
 from repro.noc.interface import NetworkInterface
+
+if TYPE_CHECKING:
+    from repro.faults.state import FaultState
 
 # Backwards-compatible alias; FabricKind.parse is the validator now.
 FABRICS = FABRIC_NAMES
@@ -107,6 +110,12 @@ class Network:
         self.pillars: dict[tuple[int, int], "PillarBus"] = {}
         self._packet_callbacks: list[Callable[[Packet], None]] = []
         self._in_flight = 0
+        # Monotonic count of packets that finished (delivered or lost);
+        # the liveness watchdog's primary progress signal.
+        self._completed = 0
+        # Live fault map; stays None unless a fault schedule is
+        # installed, keeping every fault check a single is-None branch.
+        self._faults: Optional["FaultState"] = None
         self._build()
 
     # -- construction -------------------------------------------------------
@@ -231,6 +240,42 @@ class Network:
                 for x in range(cfg.width):
                     yield Coord(x, y, z)
 
+    # -- fault tolerance ----------------------------------------------------
+
+    def attach_fault_state(self, state: "FaultState") -> None:
+        """Wire a live fault map through the fabric.
+
+        Routers consult it for fault-aware routing and jam checks,
+        :meth:`send` for pillar selection, and its lost-packet hook
+        drains this network's in-flight accounting.  Only called when a
+        non-empty fault schedule is installed — fault-free runs never
+        carry the state, so they stay bit-identical to the pre-fault
+        fabric.
+        """
+        if self.fabric is FabricKind.REFERENCE:
+            raise ValueError(
+                "fault injection requires the optimized fabric; the frozen "
+                "reference is the zero-fault differential oracle"
+            )
+        self._faults = state
+        state.on_packet_lost = self._on_packet_lost
+        state.add_listener(self._on_fault_change)
+        for router in self.routers.values():
+            router._faults = state
+
+    def _on_fault_change(self, kind: str, target: tuple, phase: str) -> None:
+        # Mesh topology changed under the routers' feet: their
+        # blocked-evaluate caches may encode decisions (jammed port,
+        # dead link) that no longer hold, so drop them and re-arm.
+        if kind in ("link", "router_port"):
+            for router in self.routers.values():
+                router._eval_cached = False
+                router.wake()
+
+    def _on_packet_lost(self, packet: Packet) -> None:
+        self._in_flight -= 1
+        self._completed += 1
+
     # -- traffic -------------------------------------------------------------
 
     def add_packet_callback(self, callback: Callable[[Packet], None]) -> None:
@@ -238,6 +283,7 @@ class Network:
 
     def _on_packet(self, packet: Packet) -> None:
         self._in_flight -= 1
+        self._completed += 1
         for callback in self._packet_callbacks:
             callback(packet)
 
@@ -249,16 +295,40 @@ class Network:
         message_class: MessageClass = MessageClass.SYNTHETIC,
         payload: object = None,
     ) -> Packet:
-        """Create and inject a packet from ``src`` to ``dest``."""
+        """Create and inject a packet from ``src`` to ``dest``.
+
+        With faults installed, inter-layer packets route via the best
+        *surviving* pillar; if none survives the packet is refused at
+        the boundary — returned with ``lost=True``, counted under
+        ``faults.unreachable``, and never injected — so callers observe
+        accounted loss instead of a hang.
+        """
         if src == dest:
             raise ValueError("source and destination must differ")
         if src not in self.nics or dest not in self.routers:
             raise ValueError(f"unknown endpoint {src} or {dest}")
+        faults = self._faults
         pillar_xy = None
         if src.z != dest.z:
-            pillar_xy = best_pillar(
-                src, dest, list(self.config.pillar_locations)
-            )
+            pillars = list(self.config.pillar_locations)
+            if faults is not None and faults.dead_pillars:
+                pillars = [
+                    pillar for pillar in pillars
+                    if pillar not in faults.dead_pillars
+                ]
+                if not pillars:
+                    packet = Packet(
+                        src,
+                        dest,
+                        size_flits or self.config.packet_flits,
+                        message_class,
+                        None,
+                        payload,
+                        ids=self.ids,
+                    )
+                    faults.packet_unreachable(packet, in_network=False)
+                    return packet
+            pillar_xy = best_pillar(src, dest, pillars)
         packet = Packet(
             src,
             dest,
@@ -276,6 +346,11 @@ class Network:
     def in_flight(self) -> int:
         """Packets injected but not yet fully ejected."""
         return self._in_flight
+
+    @property
+    def completed_packets(self) -> int:
+        """Packets that finished — delivered or dropped by a fault."""
+        return self._completed
 
     def quiesce(self, max_cycles: int = 1_000_000) -> int:
         """Run the clock until every in-flight packet is delivered."""

@@ -57,6 +57,7 @@ class Packet:
         "created_cycle",
         "injected_cycle",
         "ejected_cycle",
+        "lost",
         "payload",
     )
 
@@ -82,6 +83,10 @@ class Packet:
         self.created_cycle: Optional[int] = None
         self.injected_cycle: Optional[int] = None
         self.ejected_cycle: Optional[int] = None
+        # Set by the fault subsystem when the packet is dropped (dead
+        # pillar blackhole or unreachable destination); a lost packet
+        # never ejects, so completion predicates must test both fields.
+        self.lost = False
         self.payload = payload
 
     def make_flits(self, pool: Optional["FlitPool"] = None) -> list[Flit]:

@@ -35,9 +35,16 @@ from repro.sim.stats import StatsRegistry
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.noc.flit import Flit
 from repro.noc.link import CreditPipeline, LinkPipeline
-from repro.noc.routing import Coord, PORT_INDEX, Port, dimension_order_route
+from repro.noc.routing import (
+    Coord,
+    PORT_INDEX,
+    Port,
+    dimension_order_route,
+    fault_aware_route,
+)
 
 if TYPE_CHECKING:
+    from repro.faults.state import FaultState
     from repro.noc.packet import Packet
 
 
@@ -155,6 +162,37 @@ class OutputPort:
         self.deliver(flit, vc)
 
 
+class _DropLabel:
+    """Port-name stand-in for the drop sink (``.port.name == "DROP"``)."""
+
+    name = "DROP"
+
+
+class _DropPort:
+    """Pseudo output port that swallows flits of unreachable packets.
+
+    Quacks enough like :class:`OutputPort` for the evaluate/advance hot
+    path: ``out_bit`` 0 (never conflicts with a real grant and is never
+    jam-checked), bottomless credits so every flit of a doomed packet is
+    granted as it reaches the head of line, and a ``send`` that discards
+    the flit with drop accounting.  Credits still return upstream via the
+    normal grant path, so the mesh drains instead of backpressuring.
+    """
+
+    __slots__ = ("port", "num_vcs", "vc_busy", "credits", "out_bit", "_faults")
+
+    def __init__(self, num_vcs: int, faults: "FaultState"):
+        self.port = _DropLabel
+        self.num_vcs = num_vcs
+        self.vc_busy = [False] * num_vcs
+        self.credits = [1 << 30] * num_vcs
+        self.out_bit = 0
+        self._faults = faults
+
+    def send(self, flit: Flit, vc: int) -> None:
+        self._faults.flit_dropped()
+
+
 class Router(ClockedComponent):
     """A mesh router at one node of the 3D chip.
 
@@ -205,6 +243,11 @@ class Router(ClockedComponent):
         # Running count of input-buffered flits, maintained by
         # InputPort.accept / advance so is_idle() is O(1).
         self._buffered = 0
+        # Live fault map, set by Network.attach_fault_state when a fault
+        # schedule is installed; None keeps the fault checks to a single
+        # is-None branch on the hot path.
+        self._faults: Optional["FaultState"] = None
+        self._drop: Optional[_DropPort] = None
         scope = self.stats.scope(f"router{coord}")
         self._forwarded = scope.counter("flits_forwarded")
         self._blocked = scope.counter("cycles_blocked")
@@ -242,6 +285,17 @@ class Router(ClockedComponent):
             for input_port in self.input_ports.values()
             for vc in input_port.vcs
         )
+
+    @property
+    def forwarded_flits(self) -> int:
+        """Flits forwarded so far (liveness-watchdog progress signal)."""
+        return self._forwarded.value
+
+    def _drop_sink(self, faults: "FaultState") -> _DropPort:
+        drop = self._drop
+        if drop is None:
+            drop = self._drop = _DropPort(self.num_vcs, faults)
+        return drop
 
     def is_idle(self) -> bool:
         """Idle iff no input VC holds a flit and no grant is pending."""
@@ -297,6 +351,7 @@ class Router(ClockedComponent):
         any_blocked = False
         output_ports = self.output_ports
         route_table = self._route_table
+        faults = self._faults
         for input_port, vcs in orders[offset]:
             for vc_index, vc in vcs:
                 buffer = vc.buffer
@@ -307,21 +362,50 @@ class Router(ClockedComponent):
                 if out_port is None:
                     if head.is_head and vc.route_port is None:
                         packet = head.packet
-                        key = (packet.dest, packet.pillar_xy)
-                        route_port = route_table.get(key)
-                        if route_port is None:
-                            route_port = dimension_order_route(
-                                self.coord, packet.dest, packet.pillar_xy
+                        if faults is not None and faults.mesh_faulty:
+                            # Fault-aware path: consult the live fault
+                            # map, never memoized (links heal).
+                            route_port = fault_aware_route(
+                                self.coord,
+                                packet.dest,
+                                packet.pillar_xy,
+                                faults.dead_links,
                             )
-                            route_table[key] = route_port
-                        vc.route_port = route_port
-                    out_port = output_ports.get(vc.route_port)
+                            if route_port is None:
+                                # Unreachable: swallow the packet flit by
+                                # flit through the drop sink instead of
+                                # wedging this VC forever.
+                                faults.packet_unreachable(packet)
+                                vc.route_port = Port.LOCAL
+                                out_port = self._drop_sink(faults)
+                                vc.out_port = out_port
+                            else:
+                                vc.route_port = route_port
+                        else:
+                            key = (packet.dest, packet.pillar_xy)
+                            route_port = route_table.get(key)
+                            if route_port is None:
+                                route_port = dimension_order_route(
+                                    self.coord, packet.dest, packet.pillar_xy
+                                )
+                                route_table[key] = route_port
+                            vc.route_port = route_port
                     if out_port is None:
-                        raise RuntimeError(
-                            f"router {self.coord}: no output port "
-                            f"{vc.route_port} for {head.packet}"
-                        )
-                    vc.out_port = out_port
+                        out_port = output_ports.get(vc.route_port)
+                        if out_port is None:
+                            raise RuntimeError(
+                                f"router {self.coord}: no output port "
+                                f"{vc.route_port} for {head.packet}"
+                            )
+                        vc.out_port = out_port
+                if (
+                    faults is not None
+                    and faults.jammed_ports
+                    and out_port.out_bit
+                    and (self.coord, out_port.port) in faults.jammed_ports
+                ):
+                    any_blocked = True
+                    continue
                 if granted_mask & out_port.out_bit:
                     any_blocked = True
                     continue

@@ -121,16 +121,73 @@ def route_hop_count(
     return to_pillar + 1 + from_pillar
 
 
+def fault_aware_route(
+    current: Coord,
+    dest: Coord,
+    pillar_xy: Optional[tuple[int, int]],
+    dead: "frozenset[tuple[Coord, Port]] | set[tuple[Coord, Port]]",
+) -> Optional[Port]:
+    """Dimension-order routing step that avoids dead mesh links.
+
+    ``dead`` is the live fault map: directed ``(router, output port)``
+    pairs that new traffic must not use.  The preferred X-first port is
+    taken when alive; otherwise the packet is minimally misrouted onto
+    the other productive dimension (never away from the target, so the
+    path length stays minimal and the scheme cannot livelock).  Returns
+    ``None`` when no productive port survives — the destination is
+    unreachable and the caller must drop the packet with accounting
+    instead of letting it hang.
+
+    With an empty fault map this is exactly
+    :func:`dimension_order_route`.
+    """
+    if current.z != dest.z:
+        if pillar_xy is None:
+            raise ValueError(
+                f"inter-layer route {current}->{dest} requires a pillar"
+            )
+        target_x, target_y = pillar_xy
+        if (current.x, current.y) == (target_x, target_y):
+            return Port.VERTICAL
+    else:
+        target_x, target_y = dest.x, dest.y
+    if current.x < target_x:
+        x_port: Optional[Port] = Port.EAST
+    elif current.x > target_x:
+        x_port = Port.WEST
+    else:
+        x_port = None
+    if current.y < target_y:
+        y_port: Optional[Port] = Port.NORTH
+    elif current.y > target_y:
+        y_port = Port.SOUTH
+    else:
+        y_port = None
+    if x_port is None and y_port is None:
+        return Port.LOCAL
+    # X-first preference, matching the fault-free dimension order.
+    if x_port is not None and (current, x_port) not in dead:
+        return x_port
+    if y_port is not None and (current, y_port) not in dead:
+        return y_port
+    return None
+
+
 def best_pillar(
     src: Coord,
     dest: Coord,
     pillars: list[tuple[int, int]],
+    dead: "frozenset[tuple[int, int]] | set[tuple[int, int]]" = frozenset(),
 ) -> tuple[int, int]:
     """Pillar minimizing total path length for an inter-layer route.
 
     Ties break toward the pillar closest to the source, then by coordinate
-    so the choice is deterministic.
+    so the choice is deterministic.  Pillars in ``dead`` (the live fault
+    map) are excluded; if no pillar survives, ``ValueError`` is raised and
+    the caller must take the unreachable-destination accounting path.
     """
+    if dead:
+        pillars = [pillar for pillar in pillars if pillar not in dead]
     if not pillars:
         raise ValueError("no pillars available for inter-layer routing")
 

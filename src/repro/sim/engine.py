@@ -61,6 +61,37 @@ import itertools
 from typing import Any, Callable, Optional
 
 
+class SimulationStallError(RuntimeError):
+    """A simulation failed to make progress.
+
+    Structured superclass for every "the clock ran but nothing converged"
+    condition: :meth:`Engine.run_until` exhausting its cycle budget raises
+    this directly, and the fault subsystem's
+    :class:`~repro.faults.watchdog.DeadlockError` subclasses it with the
+    stalled components named.  ``failure_kind`` is the machine-readable
+    tag the sweep orchestrator records in its ``CellFailure`` entries, so
+    a stalled cell is distinguishable from an ordinary error or a
+    wall-clock timeout.
+    """
+
+    failure_kind = "stall"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        engine_name: str = "engine",
+        cycle: int = 0,
+        executed: int = 0,
+        max_cycles: int = 0,
+    ):
+        super().__init__(message)
+        self.engine_name = engine_name
+        self.cycle = cycle
+        self.executed = executed
+        self.max_cycles = max_cycles
+
+
 class ClockedComponent:
     """Base class for anything that does work every cycle.
 
@@ -361,18 +392,24 @@ class Engine:
     def run_until(self, predicate: Callable[[], bool], max_cycles: int = 10_000_000) -> int:
         """Run until ``predicate()`` is true or ``max_cycles`` elapse.
 
-        Returns the number of cycles executed.  Raises ``RuntimeError`` if the
-        predicate never became true, which almost always indicates deadlock
-        in the modelled hardware.  Under activity tracking the predicate
-        must be state-based (see the module docstring).
+        Returns the number of cycles executed.  Raises
+        :class:`SimulationStallError` (a ``RuntimeError`` subclass carrying
+        the engine name, cycle, and budget) if the predicate never became
+        true, which almost always indicates deadlock in the modelled
+        hardware.  Under activity tracking the predicate must be
+        state-based (see the module docstring).
         """
         executed = 0
         while not predicate():
             if executed >= max_cycles:
                 self.flush_idle_stats()
-                raise RuntimeError(
+                raise SimulationStallError(
                     f"{self.name}: run_until exceeded {max_cycles} cycles "
-                    "(likely deadlock)"
+                    "(likely deadlock)",
+                    engine_name=self.name,
+                    cycle=self.cycle,
+                    executed=executed,
+                    max_cycles=max_cycles,
                 )
             skipped = self._idle_skip(max_cycles - executed)
             if skipped:

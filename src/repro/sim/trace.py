@@ -52,6 +52,7 @@ CACHE_SEARCH = 6
 SEARCH_PLAN = 7
 MIGRATION = 8
 COHERENCE = 9
+FAULT = 10
 
 EVENT_NAMES = {
     PACKET_INJECT: "packet_inject",
@@ -64,6 +65,7 @@ EVENT_NAMES = {
     SEARCH_PLAN: "search_plan",
     MIGRATION: "migration",
     COHERENCE: "coherence",
+    FAULT: "fault",
 }
 
 # Field names for the per-kind payload (event tuple positions 3..).
@@ -78,6 +80,7 @@ _FIELDS = {
     SEARCH_PLAN: ("cpu", "step1_clusters", "step2_clusters"),
     MIGRATION: ("line", "src_cluster", "dest_cluster"),
     COHERENCE: ("kind", "line", "targets"),
+    FAULT: ("kind", "target", "phase"),
 }
 
 
@@ -126,6 +129,9 @@ class Tracer:
         pass
 
     def coherence(self, ts, track, kind, line, targets):
+        pass
+
+    def fault(self, ts, track, kind, target, phase):
         pass
 
 
@@ -260,6 +266,10 @@ class RingTracer(Tracer):
         if self._track_on[track]:
             self._append((ts, COHERENCE, track, kind, line, targets))
 
+    def fault(self, ts, track, kind, target, phase):
+        if self._track_on[track]:
+            self._append((ts, FAULT, track, kind, target, phase))
+
 
 @dataclass(frozen=True)
 class TraceSpec:
@@ -342,6 +352,8 @@ def _chrome_slice(kind: int, payload: tuple) -> tuple[str, str, dict]:
         return f"migrate {payload[1]}->{payload[2]}", "cache", args
     if kind == COHERENCE:
         return f"coherence {payload[0]}", "coherence", args
+    if kind == FAULT:
+        return f"fault {payload[0]} {payload[1]} {payload[2]}", "fault", args
     raise ValueError(f"unknown event kind {kind}")
 
 
