@@ -124,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
              "unless --mode is given explicitly)",
     )
     run.add_argument(
+        "--fabric", choices=("optimized", "reference", "vector"),
+        default="optimized",
+        help="NoC fabric for cycle mode: optimized (object hot path), "
+             "reference (naive oracle), vector (numpy batch fabric)",
+    )
+    run.add_argument(
         "--trace", default=None, metavar="FILE",
         help="record structured events and export them to FILE",
     )
@@ -192,6 +198,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--seed", type=int, default=None,
                        help="workload base seed (default: the scale's)")
+    sweep.add_argument(
+        "--mode", choices=("model", "cycle"), default="model",
+        help="timing fidelity for every cell (default: model)",
+    )
+    sweep.add_argument(
+        "--fabric", choices=("optimized", "reference", "vector"),
+        default="optimized",
+        help="NoC fabric for cycle-mode cells (default: optimized)",
+    )
     sweep.add_argument("--json", action="store_true",
                        help="emit the full sweep summary as JSON")
     sweep.add_argument("--quiet", action="store_true",
@@ -266,6 +281,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         pillars=args.pillars,
         cache_mb=args.cache_mb,
         mode=mode,
+        fabric=args.fabric,
         trace=trace_spec,
         faults=fault_spec,
     )
@@ -317,6 +333,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         SimSpec.make(
             scheme, benchmark, scale=scale,
             cache_mb=cache_mb, layers=layers, pillars=pillars,
+            mode=args.mode,
+            fabric=args.fabric,
             faults=(
                 FaultSpec(dead_pillars=dead_pillars)
                 if dead_pillars else None

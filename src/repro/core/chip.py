@@ -38,7 +38,12 @@ class NodeRole(enum.Enum):
 
 
 # banks-per-cluster -> cluster tile (width, height) in nodes
-_CLUSTER_TILES = {16: (4, 4), 32: (8, 4), 64: (8, 8), 128: (16, 8)}
+_CLUSTER_TILES = {
+    16: (4, 4), 32: (8, 4), 64: (8, 8), 128: (16, 8),
+    # Beyond-paper scale: 256 MB over 4 layers tiles each cluster
+    # 16x16, giving the 32x32-per-layer mesh the vector fabric targets.
+    256: (16, 16),
+}
 
 # clusters-per-layer -> cluster-grid (columns, rows)
 _CLUSTER_GRIDS = {16: (4, 4), 8: (4, 2), 4: (2, 2), 2: (2, 1), 1: (1, 1)}

@@ -417,6 +417,15 @@ class NetworkInMemory:
                 len(state.dead_pillars) + len(state.dead_links)
                 + len(state.jammed_ports) + len(state.dead_banks)
             )
+        # Survivorship context for the latency means: in cycle mode ask
+        # the live fabric what never arrived; the analytic model delivers
+        # everything by construction.
+        delivered_fraction = 1.0
+        ages = {"count": 0, "mean_age": 0.0, "max_age": 0}
+        network = getattr(self.pricer, "network", None)
+        if network is not None:
+            delivered_fraction = network.delivered_fraction()
+            ages = network.in_flight_ages()
         return RunStats(
             scheme=self.config.scheme,
             avg_l2_hit_latency=self.hit_latency.mean,
@@ -434,6 +443,10 @@ class NetworkInMemory:
             cycles=max_clock,
             packets_lost=int(snapshot.get("faults.packets_lost", 0)),
             faults_injected=faults_active,
+            delivered_fraction=delivered_fraction,
+            in_flight_packets=int(ages["count"]),
+            in_flight_mean_age=float(ages["mean_age"]),
+            in_flight_max_age=int(ages["max_age"]),
         )
 
 
@@ -458,6 +471,16 @@ class RunStats:
     # Fault-injection degradation accounting (0 on fault-free runs).
     packets_lost: int = 0
     faults_injected: int = 0
+    # Latency survivorship accounting (cycle mode): latency means cover
+    # only *delivered* packets, so a saturated run that strands most of
+    # its traffic in-network can report a flattering mean.  These fields
+    # expose the denominator — what fraction of injected packets the
+    # latency stats actually describe, and how old the stranded
+    # population is.  Defaulted so cached artifacts predating them load.
+    delivered_fraction: float = 1.0
+    in_flight_packets: int = 0
+    in_flight_mean_age: float = 0.0
+    in_flight_max_age: int = 0
 
     @property
     def l2_accesses(self) -> int:
@@ -493,6 +516,10 @@ class RunStats:
             "cycles": self.cycles,
             "packets_lost": self.packets_lost,
             "faults_injected": self.faults_injected,
+            "delivered_fraction": self.delivered_fraction,
+            "in_flight_packets": self.in_flight_packets,
+            "in_flight_mean_age": self.in_flight_mean_age,
+            "in_flight_max_age": self.in_flight_max_age,
         }
 
     @classmethod

@@ -62,6 +62,11 @@ class SimSpec:
     # Timing fidelity: "model" (analytic latency model) or "cycle"
     # (packets fly through the real fabric).
     mode: str = "model"
+    # NoC fabric for mode="cycle": "optimized" (allocation-free object
+    # hot path), "reference" (frozen naive oracle), or "vector" (numpy
+    # structure-of-arrays batch fabric; distribution-level equivalent,
+    # fastest at scale).  Ignored by mode="model".
+    fabric: str = "optimized"
     # Per-cell tracing opt-in: a TraceSpec makes simulate() attach a
     # RingTracer to the system, so a single sweep cell can be traced
     # reproducibly.  None (default) keeps the NullTracer.
@@ -109,6 +114,8 @@ class SimSpec:
         }
         if self.mode != "model":
             data["mode"] = self.mode
+        if self.fabric != "optimized":
+            data["fabric"] = self.fabric
         if self.trace is not None:
             data["trace"] = self.trace.to_dict()
         if self.faults is not None:
@@ -133,6 +140,7 @@ class SimSpec:
             num_cpus=data["num_cpus"],
             fixed_floorplan=data["fixed_floorplan"],
             mode=data.get("mode", "model"),
+            fabric=data.get("fabric", "optimized"),
             trace=(
                 TraceSpec.from_dict(data["trace"])
                 if data.get("trace") is not None
@@ -206,6 +214,7 @@ def build_system_config(spec: SimSpec) -> SystemConfig:
         num_pillars=spec.pillars,
         num_cpus=spec.num_cpus,
         mode=spec.mode,
+        noc_fabric=spec.fabric,
         faults=spec.faults,
         fault_seed=spec.seed,
     )

@@ -21,6 +21,11 @@ class FabricKind(enum.Enum):
     OPTIMIZED = "optimized"
     # The frozen pre-PR-3 fabric kept verbatim as a differential oracle.
     REFERENCE = "reference"
+    # The batched structure-of-arrays fabric: the whole 3D mesh held as
+    # numpy state and advanced in bulk array operations once per cycle.
+    # Distribution-level equivalent to the object fabrics (arbitration
+    # rotation differs under contention — see DESIGN.md "Vector fabric").
+    VECTOR = "vector"
 
     @classmethod
     def parse(cls, value: Union["FabricKind", str]) -> "FabricKind":

@@ -9,6 +9,7 @@ network the paper compares against.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, TYPE_CHECKING
 
@@ -59,6 +60,25 @@ class NetworkConfig:
                 raise ValueError(f"pillar ({x},{y}) outside the mesh")
         if len(set(self.pillar_locations)) != len(self.pillar_locations):
             raise ValueError("duplicate pillar locations")
+
+    @property
+    def vc_split(self) -> int:
+        """First VC of the intra-layer class (0 disables partitioning).
+
+        Multi-layer meshes partition the virtual channels into two
+        classes to break the inter-layer credit cycle (mesh -> pillar TX
+        -> bus -> pillar RX -> mesh on the other layer -> back): packets
+        that still have to cross a pillar (``dest.z != here.z``) may only
+        be allocated VCs ``[0, vc_split)``; packets already on their
+        destination layer use ``[vc_split, num_vcs)``.  Post-crossing
+        traffic then drains to ejection without ever waiting on a pillar,
+        which makes the channel dependency graph acyclic (see DESIGN.md
+        "Saturation and drain behaviour").  Single-layer meshes have no
+        vertical hop, so the partition is disabled.
+        """
+        if self.layers > 1 and self.num_vcs >= 2:
+            return self.num_vcs // 2
+        return 0
 
     @property
     def nodes_per_layer(self) -> int:
@@ -116,6 +136,14 @@ class Network:
         # Live fault map; stays None unless a fault schedule is
         # installed, keeping every fault check a single is-None branch.
         self._faults: Optional["FaultState"] = None
+        # In-flight age accounting (the survivorship-bias companion to the
+        # delivered-only latency histogram): packets in injection order
+        # plus a running sum of their creation cycles.  The ring is
+        # trimmed opportunistically as its head completes, so it stays
+        # near the in-flight population, not the run total.
+        self._age_ring: deque[Packet] = deque()
+        self._inflight_created_sum = 0
+        self._vector = None
         self._build()
 
     # -- construction -------------------------------------------------------
@@ -123,8 +151,60 @@ class Network:
     def _build(self) -> None:
         if self.fabric is FabricKind.REFERENCE:
             self._build_reference()
+        elif self.fabric is FabricKind.VECTOR:
+            self._build_vector()
         else:
             self._build_optimized()
+
+    def _build_vector(self) -> None:
+        from repro.noc.vector import VectorFabric  # local: needs numpy
+
+        if self.tracer.enabled:
+            raise ValueError(
+                "tracing requires an object fabric "
+                "(fabric='optimized'); the vector fabric batches router "
+                "state and has no per-object probe points"
+            )
+        self._link_pipeline = None
+        self._vector = VectorFabric(self, self.config, self.engine, self.stats)
+        self.engine.register(self._vector)
+        if self.config.layers > 1:
+            self._build_pillar_table()
+
+    def _build_pillar_table(self) -> None:
+        """Precompute ``best_pillar`` for every (src, dest) xy pair.
+
+        The object fabrics call :func:`best_pillar` per packet (and must,
+        because the live fault map can shrink the pillar set mid-run);
+        the vector fabric never carries pillar faults, so the choice is a
+        pure function of the two in-plane positions and one table gather
+        replaces the per-packet ``min``.  The key encodes the exact
+        ``best_pillar`` tie-break: total path length, then distance to
+        the pillar, then pillar coordinate order.
+        """
+        import numpy as np
+
+        cfg = self.config
+        width, height = cfg.width, cfg.height
+        flat = np.arange(width * height)
+        fx, fy = flat % width, flat // width
+        pillars = list(cfg.pillar_locations)
+        by_coord = sorted(range(len(pillars)), key=lambda i: pillars[i])
+        distance_scale = 4 * (width + height)
+        best = np.full((flat.size, flat.size), 1 << 60, np.int64)
+        choice = np.zeros((flat.size, flat.size), np.int64)
+        for rank, index in enumerate(by_coord):
+            px, py = pillars[index]
+            to_pillar = (np.abs(fx - px) + np.abs(fy - py))[:, None]
+            from_pillar = (np.abs(fx - px) + np.abs(fy - py))[None, :]
+            key = (
+                (to_pillar + from_pillar) * distance_scale + to_pillar
+            ) * len(pillars) + rank
+            better = key < best
+            best = np.where(better, key, best)
+            choice = np.where(better, index, choice)
+        self._pillar_choice = choice.astype(np.int16)
+        self._pillar_tuples = pillars
 
     def _build_optimized(self) -> None:
         cfg = self.config
@@ -133,6 +213,7 @@ class Network:
                 coord, cfg.num_vcs, cfg.vc_depth, stats=self.stats,
                 tracer=self.tracer,
             )
+            router.vc_split = cfg.vc_split
             self.routers[coord] = router
             self.engine.register(router)
 
@@ -185,6 +266,7 @@ class Network:
             router = ReferenceRouter(
                 coord, cfg.num_vcs, cfg.vc_depth, stats=self.stats
             )
+            router.vc_split = cfg.vc_split
             self.routers[coord] = router
             self.engine.register(router)
 
@@ -257,6 +339,12 @@ class Network:
                 "fault injection requires the optimized fabric; the frozen "
                 "reference is the zero-fault differential oracle"
             )
+        if self.fabric is FabricKind.VECTOR:
+            raise ValueError(
+                "pillar/link/router_port faults require fabric='optimized' "
+                "(the vector fabric batches router and pillar state and "
+                "honors only bank faults)"
+            )
         self._faults = state
         state.on_packet_lost = self._on_packet_lost
         state.add_listener(self._on_fault_change)
@@ -275,6 +363,7 @@ class Network:
     def _on_packet_lost(self, packet: Packet) -> None:
         self._in_flight -= 1
         self._completed += 1
+        self._retire_age(packet)
 
     # -- traffic -------------------------------------------------------------
 
@@ -284,8 +373,17 @@ class Network:
     def _on_packet(self, packet: Packet) -> None:
         self._in_flight -= 1
         self._completed += 1
+        self._retire_age(packet)
         for callback in self._packet_callbacks:
             callback(packet)
+
+    def _retire_age(self, packet: Packet) -> None:
+        if self._vector is not None:
+            return  # the fabric's side table tracks ages
+        self._inflight_created_sum -= packet.created_cycle
+        ring = self._age_ring
+        while ring and (ring[0].ejected_cycle is not None or ring[0].lost):
+            ring.popleft()
 
     def send(
         self,
@@ -305,11 +403,24 @@ class Network:
         """
         if src == dest:
             raise ValueError("source and destination must differ")
-        if src not in self.nics or dest not in self.routers:
+        if self._vector is not None:
+            if not (self._valid_coord(src) and self._valid_coord(dest)):
+                raise ValueError(f"unknown endpoint {src} or {dest}")
+        elif src not in self.nics or dest not in self.routers:
             raise ValueError(f"unknown endpoint {src} or {dest}")
         faults = self._faults
         pillar_xy = None
-        if src.z != dest.z:
+        if src.z != dest.z and self._vector is not None:
+            # Fault-free by construction (the vector fabric refuses
+            # mesh/pillar fault schedules), so the precomputed table is
+            # always valid.
+            width = self.config.width
+            pillar_xy = self._pillar_tuples[
+                self._pillar_choice[
+                    src.y * width + src.x, dest.y * width + dest.x
+                ]
+            ]
+        elif src.z != dest.z:
             pillars = list(self.config.pillar_locations)
             if faults is not None and faults.dead_pillars:
                 pillars = [
@@ -339,8 +450,50 @@ class Network:
             ids=self.ids,
         )
         self._in_flight += 1
-        self.nics[src].inject(packet)
+        if self._vector is not None:
+            # The fabric's SoA side table handles age accounting.
+            self._vector.inject(packet)
+        else:
+            self.nics[src].inject(packet)
+            self._age_ring.append(packet)
+            self._inflight_created_sum += packet.created_cycle
         return packet
+
+    def try_send_batch(self, src_index, dest_index, size_flits=None):
+        """Batched object-free injection; ``None`` when unavailable.
+
+        ``src_index``/``dest_index`` are parallel integer arrays of flat
+        node indexes (the :meth:`coords` order) with ``src != dest``
+        elementwise.  Only the vector fabric supports it, and only while
+        no packet callbacks are registered (callbacks receive ``Packet``
+        objects, which this path never creates) — callers fall back to
+        scalar :meth:`send` on ``None``.
+        """
+        if self._vector is None or self._packet_callbacks:
+            return None
+        count = self._vector.inject_batch(
+            src_index, dest_index, size_flits or self.config.packet_flits
+        )
+        self._in_flight += count
+        return count
+
+    def _on_packet_light(self) -> None:
+        """Delivery of a batch-injected packet (no object, no callbacks)."""
+        self._in_flight -= 1
+        self._completed += 1
+
+    def _on_packet_light_batch(self, count: int) -> None:
+        """Bulk form of :meth:`_on_packet_light` for the vector fabric."""
+        self._in_flight -= count
+        self._completed += count
+
+    def _valid_coord(self, coord: Coord) -> bool:
+        cfg = self.config
+        return (
+            0 <= coord.x < cfg.width
+            and 0 <= coord.y < cfg.height
+            and 0 <= coord.z < cfg.layers
+        )
 
     @property
     def in_flight(self) -> int:
@@ -352,11 +505,32 @@ class Network:
         """Packets that finished — delivered or dropped by a fault."""
         return self._completed
 
+    @property
+    def vector_fabric(self):
+        """The batched SoA component, or ``None`` on object fabrics."""
+        return self._vector
+
     def quiesce(self, max_cycles: int = 1_000_000) -> int:
         """Run the clock until every in-flight packet is delivered."""
         return self.engine.run_until(
             lambda: self._in_flight == 0, max_cycles=max_cycles
         )
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Deliver every in-flight packet with injection stopped.
+
+        Returns the number of cycles the drain took.  Callers must have
+        silenced their traffic sources first (e.g. set a generator's
+        ``injection_rate`` to 0); the network itself injects nothing.
+        Raises :class:`~repro.sim.engine.SimulationStallError` if the
+        backlog fails to empty within ``max_cycles`` — a saturated mesh
+        holds a large post-pillar backlog (see DESIGN.md "Saturation and
+        drain behaviour") but always drains; a non-converging drain is a
+        flow-control bug.
+        """
+        start = self.engine.cycle
+        self.quiesce(max_cycles=max_cycles)
+        return self.engine.cycle - start
 
     # -- reporting -------------------------------------------------------------
 
@@ -364,3 +538,41 @@ class Network:
         """Mean end-to-end packet latency (all NICs share one histogram)."""
         hist = self.stats.scope("nic").histogram("packet_latency")
         return hist.mean
+
+    def delivered_fraction(self) -> float:
+        """Delivered share of all packets ever injected (1.0 when empty).
+
+        The complement of the latency histogram's survivorship bias: at
+        saturation the histogram covers only the few packets that made
+        it out, while this ratio exposes the stuck majority.
+        """
+        total = self._completed + self._in_flight
+        if total == 0:
+            return 1.0
+        delivered = self.stats.scope("nic").counter("packets_received").value
+        return delivered / total
+
+    def in_flight_ages(self) -> dict:
+        """Age summary of packets injected but not yet delivered.
+
+        Returns ``{"count", "mean_age", "max_age"}`` in cycles as of the
+        engine's current cycle.  Together with
+        :meth:`delivered_fraction` this is the unbiased view of a
+        congested run: delivered-only latency falls at saturation while
+        these ages grow without bound.
+        """
+        if self._vector is not None:
+            return self._vector.in_flight_ages()
+        now = self.engine.cycle
+        ring = self._age_ring
+        while ring and (ring[0].ejected_cycle is not None or ring[0].lost):
+            ring.popleft()
+        count = self._in_flight
+        if count == 0 or not ring:
+            return {"count": count, "mean_age": 0.0, "max_age": 0}
+        mean = (now * count - self._inflight_created_sum) / count
+        return {
+            "count": count,
+            "mean_age": mean,
+            "max_age": now - ring[0].created_cycle,
+        }

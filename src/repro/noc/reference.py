@@ -92,10 +92,16 @@ class ReferenceOutputPort:
         self.credits = [downstream_depth] * num_vcs
         self.deliver = deliver
 
-    def free_vc(self, preferred: int = 0) -> Optional[int]:
-        """A downstream VC that is unallocated and has buffer space."""
-        for offset in range(self.num_vcs):
-            vc = (preferred + offset) % self.num_vcs
+    def free_vc(
+        self, preferred: int = 0, lo: int = 0, hi: Optional[int] = None
+    ) -> Optional[int]:
+        """A downstream VC in ``[lo, hi)`` that is unallocated and has
+        buffer space (the window is the packet's VC class)."""
+        if hi is None:
+            hi = self.num_vcs
+        span = hi - lo
+        for offset in range(span):
+            vc = lo + (preferred + offset) % span
             if not self.vc_busy[vc] and self.credits[vc] > 0:
                 return vc
         return None
@@ -142,6 +148,11 @@ class ReferenceRouter(ClockedComponent):
         self._grants: list[tuple[Port, int, ReferenceOutputPort, int]] = []
         self._rr_offset = 0
         self._buffered = 0
+        # Multi-layer VC class partition (set by Network from
+        # NetworkConfig.vc_split); part of the wormhole protocol, so the
+        # oracle carries it too — without it the fabric deadlocks on the
+        # inter-layer credit cycle and so would the oracle.
+        self.vc_split = 0
         scope = self.stats.scope(f"router{coord}")
         self._forwarded = scope.counter("flits_forwarded")
         self._blocked = scope.counter("cycles_blocked")
@@ -221,7 +232,15 @@ class ReferenceRouter(ClockedComponent):
                     any_blocked = True
                     continue
                 if head.is_head and vc.out_vc is None:
-                    out_vc = output_port.free_vc(preferred=vc_index)
+                    if self.vc_split and head.packet.dest.z != self.coord.z:
+                        lo, hi = 0, self.vc_split
+                    elif self.vc_split:
+                        lo, hi = self.vc_split, self.num_vcs
+                    else:
+                        lo, hi = 0, self.num_vcs
+                    out_vc = output_port.free_vc(
+                        preferred=vc_index, lo=lo, hi=hi
+                    )
                     if out_vc is None:
                         any_blocked = True
                         continue

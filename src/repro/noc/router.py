@@ -130,18 +130,24 @@ class OutputPort:
         # blocked-evaluate cache.
         self.owner: Optional["Router"] = None
 
-    def free_vc(self, preferred: int = 0) -> Optional[int]:
-        """A downstream VC that is unallocated and has buffer space."""
+    def free_vc(
+        self, preferred: int = 0, lo: int = 0, hi: Optional[int] = None
+    ) -> Optional[int]:
+        """A downstream VC in ``[lo, hi)`` that is unallocated and has
+        buffer space.  The window defaults to every VC; routers narrow it
+        to one VC class for the multi-layer deadlock partition."""
         vc_busy = self.vc_busy
         credits = self.credits
-        num_vcs = self.num_vcs
-        vc = preferred % num_vcs
-        for __ in range(num_vcs):
+        if hi is None:
+            hi = self.num_vcs
+        span = hi - lo
+        vc = lo + preferred % span
+        for __ in range(span):
             if not vc_busy[vc] and credits[vc] > 0:
                 return vc
             vc += 1
-            if vc == num_vcs:
-                vc = 0
+            if vc == hi:
+                vc = lo
         return None
 
     def return_credit(self, vc: int) -> None:
@@ -243,6 +249,12 @@ class Router(ClockedComponent):
         # Running count of input-buffered flits, maintained by
         # InputPort.accept / advance so is_idle() is O(1).
         self._buffered = 0
+        # VC class partition for multi-layer deadlock avoidance (set by
+        # Network from NetworkConfig.vc_split): packets still headed for
+        # a vertical hop may only win VCs [0, vc_split); packets on their
+        # destination layer use [vc_split, num_vcs).  0 disables the
+        # partition (single-layer meshes).
+        self.vc_split = 0
         # Live fault map, set by Network.attach_fault_state when a fault
         # schedule is installed; None keeps the fault checks to a single
         # is-None branch on the hot path.
@@ -352,6 +364,8 @@ class Router(ClockedComponent):
         output_ports = self.output_ports
         route_table = self._route_table
         faults = self._faults
+        vc_split = self.vc_split
+        coord_z = self.coord.z
         for input_port, vcs in orders[offset]:
             for vc_index, vc in vcs:
                 buffer = vc.buffer
@@ -413,18 +427,31 @@ class Router(ClockedComponent):
                 if out_vc is None and head.is_head:
                     # Inlined OutputPort.free_vc(preferred=vc_index): this
                     # runs every cycle a head flit waits for a downstream
-                    # VC, which under load is most VCs most cycles.
+                    # VC, which under load is most VCs most cycles.  The
+                    # scan window is the packet's VC class: cross-layer
+                    # packets that still need a vertical hop take
+                    # [0, vc_split), everything else [vc_split, num_vcs)
+                    # — the partition that keeps the pillar round trip
+                    # deadlock-free (see NetworkConfig.vc_split).
                     vc_busy = out_port.vc_busy
                     credits = out_port.credits
                     num_vcs = out_port.num_vcs
-                    candidate = vc_index
-                    for __ in range(num_vcs):
+                    if vc_split:
+                        if head.packet.dest.z != coord_z:
+                            lo, hi = 0, vc_split
+                        else:
+                            lo, hi = vc_split, num_vcs
+                    else:
+                        lo, hi = 0, num_vcs
+                    span = hi - lo
+                    candidate = lo + vc_index % span
+                    for __ in range(span):
                         if not vc_busy[candidate] and credits[candidate] > 0:
                             out_vc = vc.out_vc = candidate
                             break
                         candidate += 1
-                        if candidate == num_vcs:
-                            candidate = 0
+                        if candidate == hi:
+                            candidate = lo
                     else:
                         any_blocked = True
                         continue

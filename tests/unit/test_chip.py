@@ -149,3 +149,16 @@ class TestTopology:
 
         with pytest.raises(ValueError, match="off-mesh"):
             ChipTopology(ChipConfig(), {0: Coord(99, 1, 0)}, [(2, 2)])
+
+
+class TestBeyondPaperScale:
+    def test_256mb_4layer_tiles_to_32x32(self):
+        """The 256-bank cluster tiling enables the 32x32x4 sweep cell."""
+        config = ChipConfig(
+            cache_mb=256, num_layers=4, num_pillars=16, num_clusters=16
+        )
+        config.validate()
+        assert config.mesh_dims == (32, 32)
+        assert config.total_banks == 4096
+        assert config.banks_per_cluster == 256
+        assert config.cluster_tile == (16, 16)
