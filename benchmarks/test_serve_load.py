@@ -1,0 +1,177 @@
+"""Bench: sweep-service load — 1000 concurrent submissions, 4 simulations.
+
+Boots a real :class:`SweepServer` (process executor, fresh cache) and
+fires ``SUBMISSIONS`` concurrent submissions of the same 4-cell grid
+from rotating tenants over HTTP, starting **cold** so the harness
+exercises every path at once: the first submission enqueues the four
+cells, the storm behind it rides along via in-flight dedup, and
+everything after the cells land is a submit-time cache hit.  A warm
+resubmission pass then measures the steady mostly-cached state.
+
+Acceptance bars (the ISSUE's load target):
+  - every submission is accepted and completes with zero failed cells;
+  - the four distinct specs are simulated exactly once each —
+    ``cells_simulated == 4`` after 1000 submissions of 4000 cells;
+  - results land in ``BENCH_serve.json`` with throughput and job-latency
+    percentiles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from repro.core.schemes import Scheme
+from repro.experiments.config import ExperimentScale
+from repro.experiments.spec import SimSpec
+from repro.serve.client import AsyncServeClient, ServerBusy
+from repro.serve.scheduler import JobStore
+from repro.serve.server import SweepServer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+SCALE = ExperimentScale(name="serve-load", refs_per_cpu=200)
+GRID = [
+    SimSpec.make(scheme, benchmark, scale=SCALE)
+    for scheme in (Scheme.CMP_DNUCA_3D, Scheme.CMP_SNUCA_3D)
+    for benchmark in ("art", "swim")
+]
+SUBMISSIONS = 1000
+TENANTS = 8
+WORKERS = 4
+MAX_PENDING = 1024
+CONCURRENCY = 128  # simultaneous open client connections (fd budget)
+
+
+def _percentile(sorted_values: list, q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def _submit_and_wait(
+    client: AsyncServeClient, gate: asyncio.Semaphore
+) -> dict:
+    """One tenant submission: submit (retrying on 429) and run to done."""
+    start = time.perf_counter()
+    attempts = 0
+    async with gate:
+        while True:
+            try:
+                snapshot = await client.submit(GRID)
+                break
+            except ServerBusy as busy:
+                attempts += 1
+                if attempts > 50:
+                    raise
+                await asyncio.sleep(busy.retry_after_s)
+        if snapshot["state"] != "done":
+            snapshot = await client.wait(
+                snapshot["job_id"], poll_s=0.2, timeout_s=600.0
+            )
+    return {
+        "latency_s": time.perf_counter() - start,
+        "failed": snapshot["failed"],
+        "done": snapshot["done"],
+        "retries": attempts,
+    }
+
+
+async def _storm() -> dict:
+    store = JobStore(
+        workers=WORKERS,
+        max_pending=MAX_PENDING,
+        use_cache=True,
+        cache_dir=str(REPO_ROOT / ".repro_cache_bench"),
+        executor="process",
+    )
+    # A fresh cache directory per run: the cold phase must really be cold.
+    import shutil
+
+    shutil.rmtree(store.cache.root, ignore_errors=True)
+    await store.start()
+    server = SweepServer(store, port=0)
+    port = await server.start()
+    try:
+        clients = [
+            AsyncServeClient(port=port, tenant=f"tenant-{i}")
+            for i in range(TENANTS)
+        ]
+        gate = asyncio.Semaphore(CONCURRENCY)
+
+        start = time.perf_counter()
+        outcomes = await asyncio.gather(*(
+            _submit_and_wait(clients[i % TENANTS], gate)
+            for i in range(SUBMISSIONS)
+        ))
+        elapsed = time.perf_counter() - start
+
+        # Steady-state pass: everything is cached, jobs finish at submit.
+        warm_start = time.perf_counter()
+        warm = await clients[0].submit(GRID)
+        warm_latency = time.perf_counter() - warm_start
+        totals = await clients[0].stats()
+    finally:
+        await server.close()
+        await store.close()
+        shutil.rmtree(store.cache.root, ignore_errors=True)
+
+    latencies = sorted(item["latency_s"] for item in outcomes)
+    return {
+        "elapsed_s": elapsed,
+        "submissions_per_sec": SUBMISSIONS / elapsed,
+        "failed_cells": sum(item["failed"] for item in outcomes),
+        "delivered_cells": sum(item["done"] for item in outcomes),
+        "busy_retries": sum(item["retries"] for item in outcomes),
+        "job_latency_s": {
+            "p50": _percentile(latencies, 0.50),
+            "p90": _percentile(latencies, 0.90),
+            "p99": _percentile(latencies, 0.99),
+            "max": latencies[-1],
+        },
+        "warm_resubmit": {
+            "state_at_submit": warm["state"],
+            "latency_s": warm_latency,
+            "cached": warm["cached"],
+        },
+        "totals": totals,
+    }
+
+
+def test_serve_load(once):
+    results = once(lambda: asyncio.run(_storm()))
+
+    payload = {
+        "benchmark": "serve_load",
+        "config": {
+            "submissions": SUBMISSIONS,
+            "grid_cells": len(GRID),
+            "tenants": TENANTS,
+            "workers": WORKERS,
+            "max_pending": MAX_PENDING,
+            "concurrency": CONCURRENCY,
+            "refs_per_cpu": SCALE.refs_per_cpu,
+        },
+        "results": results,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    totals = results["totals"]
+    # Zero failed cells across a thousand concurrent submissions.
+    assert results["failed_cells"] == 0
+    assert totals["cells_failed"] == 0
+    assert totals["jobs_done"] >= SUBMISSIONS
+    # Every tenant got every cell...
+    assert results["delivered_cells"] == SUBMISSIONS * len(GRID)
+    # ...but the duplicated grid was simulated exactly once per spec.
+    assert totals["cells_simulated"] == len(GRID)
+    # (storm: 999 duplicate grids; plus the warm resubmission's 4 hits)
+    assert (
+        totals["cells_cached"] + totals["cells_deduped"]
+        == SUBMISSIONS * len(GRID)
+    )
+    # The warm pass is a pure cache hit: done before the 202 returns.
+    assert results["warm_resubmit"]["state_at_submit"] == "done"
+    assert results["warm_resubmit"]["cached"] == len(GRID)

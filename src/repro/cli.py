@@ -5,9 +5,15 @@ Commands
 
 ``run``          simulate one scheme on one benchmark and print statistics
 ``sweep``        run an arbitrary simulation grid, parallel and cached
+``serve``        multi-tenant sweep service: submit grids over HTTP
 ``thermal``      solve a placement's thermal profile
 ``experiments``  run one (or all) of the table/figure reproductions
 ``describe``     print a chip configuration's placed topology
+
+All simulation commands go through the :mod:`repro.api` facade
+(``run``/``sweep``/``submit``); ``sweep --server URL`` routes the same
+grid through a running ``repro serve`` instance instead of local worker
+processes.
 
 Examples::
 
@@ -15,6 +21,9 @@ Examples::
     python -m repro run --scheme CMP-DNUCA-2D --benchmark art --json
     python -m repro sweep --schemes CMP-DNUCA-2D CMP-DNUCA-3D \\
         --benchmarks art swim --jobs 4
+    python -m repro serve --port 8731 --workers 4
+    python -m repro sweep --server http://127.0.0.1:8731 \\
+        --schemes CMP-DNUCA-3D --benchmarks art swim
     python -m repro thermal --layers 2 --placement stacked
     python -m repro experiments fig13 --jobs 4
     python -m repro describe --layers 4 --pillars 8
@@ -26,6 +35,7 @@ import argparse
 import json
 import sys
 
+from repro import api
 from repro.core.chip import ChipConfig
 from repro.core.placement import PlacementPolicy, build_topology
 from repro.core.schemes import Scheme
@@ -33,9 +43,9 @@ from repro.power.report import energy_report
 from repro.thermal import simulate_thermal
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 from repro.experiments.config import ExperimentScale, current_scale
-from repro.experiments.orchestrator import run_sweep
 from repro.experiments.registry import EXPERIMENT_NAMES, run_experiment
-from repro.experiments.spec import SimSpec, simulate
+from repro.experiments.spec import SimSpec
+from repro.api import simulate
 from repro.faults.spec import (
     DEFAULT_WATCHDOG_WINDOW,
     FaultSpec,
@@ -211,8 +221,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the full sweep summary as JSON")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-cell progress lines")
+    sweep.add_argument(
+        "--server", default=None, metavar="URL",
+        help="submit the grid to a running `repro serve` instance "
+             "(e.g. http://127.0.0.1:8731) instead of local workers; "
+             "orchestrator flags are then server-side concerns",
+    )
+    sweep.add_argument(
+        "--tenant", default="cli",
+        help="tenant name for --server submissions (fair-queued "
+             "against other tenants)",
+    )
     _add_orchestrator_args(sweep)
     _add_profile_args(sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve sweep submissions over HTTP (multi-tenant, deduped)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8731,
+                       help="listen port (0 picks a free port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent cell executions (worker processes)")
+    serve.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="distinct queued+running cells before submissions are "
+             "rejected with 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--inline", action="store_true",
+        help="run cells in server threads instead of worker processes "
+             "(debug/tests; per-cell timeout does not apply)",
+    )
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the shared result cache")
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default .repro_cache/ or REPRO_CACHE_DIR)",
+    )
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-cell wall-clock timeout in seconds")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="re-executions after a worker crash or timeout")
 
     thermal = sub.add_parser("thermal", help="thermal profile of a placement")
     thermal.add_argument("--layers", type=int, default=2)
@@ -352,15 +403,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not args.quiet and not args.json:
         def progress(message: str) -> None:
             print(f"  {message}", file=sys.stderr)
-    summary = run_sweep(
-        specs,
-        jobs=args.jobs,
-        use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        progress=progress,
-    )
+    if args.server:
+        from repro.serve.client import ServeClient
+
+        client = ServeClient.from_url(args.server, tenant=args.tenant)
+        summary = client.sweep(specs, progress=progress)
+    else:
+        summary = api.sweep(
+            specs,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            progress=progress,
+        )
     if args.json:
         print(json.dumps(summary.to_dict(), indent=1))
         return 1 if summary.failures else 0
@@ -398,6 +455,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     print(summary.describe())
     return 1 if summary.failures else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.scheduler import JobStore
+    from repro.serve.server import serve_forever
+
+    store = JobStore(
+        workers=args.workers,
+        max_pending=args.max_pending,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        executor="inline" if args.inline else "process",
+    )
+
+    def ready(port: int) -> None:
+        print(
+            f"repro serve listening on http://{args.host}:{port} "
+            f"({store.workers} worker(s), "
+            f"max_pending={store.max_pending}, "
+            f"executor={store.executor_kind})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            serve_forever(store, host=args.host, port=args.port, ready=ready)
+        )
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    return 0
 
 
 def _cmd_thermal(args: argparse.Namespace) -> int:
@@ -456,6 +548,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
         "thermal": _cmd_thermal,
         "experiments": _cmd_experiments,
         "describe": _cmd_describe,

@@ -19,6 +19,13 @@ a grid of independent :class:`~repro.experiments.spec.SimSpec` cells.
 The sweep returns a :class:`SweepSummary` whose counters (``simulated``,
 ``cached``, ``failed``) make cache behaviour auditable: a warm-cache
 rerun reports ``simulated == 0``.
+
+:func:`execute_cell` is the single-cell unit of the same fan-out —
+one worker process, per-cell timeout, bounded crash/timeout retry —
+factored out so other schedulers (the ``repro serve`` job store in
+:mod:`repro.serve.scheduler`) submit cells one at a time instead of as a
+closed batch.  Failures surface as :class:`CellExecutionError` carrying
+the same structured ``kind`` a :class:`CellFailure` records.
 """
 
 from __future__ import annotations
@@ -78,8 +85,31 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
+    def read_artifact(self, spec_hash: str) -> Optional[dict]:
+        """The raw artifact dict for a spec hash, or None if absent/torn.
+
+        Used by the sweep service's artifact endpoint, which addresses
+        results by hash alone (no spec to validate against); version skew
+        and parse errors are misses, exactly like :meth:`get`.
+        """
+        try:
+            with open(self._path(spec_hash), encoding="utf-8") as handle:
+                artifact = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if artifact.get("cache_version") != CACHE_VERSION:
+            return None
+        return artifact
+
     def put(self, spec: SimSpec, stats: RunStats) -> None:
-        """Atomically persist a result (tmp file + rename)."""
+        """Atomically persist a result (tmp file + rename).
+
+        ``mkstemp`` gives every writer a private temp file and
+        ``os.replace`` swaps it in atomically, so concurrent workers —
+        including workers of *different* server jobs racing on the same
+        ``spec_hash`` — can never leave a torn artifact: readers see
+        either a previous complete artifact or the new one.
+        """
         path = self._path(spec.spec_hash())
         os.makedirs(os.path.dirname(path), exist_ok=True)
         artifact = {
@@ -206,6 +236,89 @@ def _cell_entry(spec_dict: dict, conn, trace_dir: Optional[str] = None) -> None:
                    traceback.format_exc(limit=8)))
     finally:
         conn.close()
+
+
+class CellExecutionError(Exception):
+    """A single-cell execution could not produce a result.
+
+    The exception-shaped twin of :class:`CellFailure` for callers that
+    run cells one at a time (:func:`execute_cell`): same structured
+    ``kind`` ("error" | "timeout" | "crash" | "stall" | "deadlock"),
+    message, and attempt count, so the sweep service can map it straight
+    to an error body.
+    """
+
+    def __init__(self, kind: str, message: str, attempts: int = 1):
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+        self.attempts = attempts
+
+    def to_failure(self, spec: SimSpec) -> CellFailure:
+        return CellFailure(spec, self.kind, self.message, self.attempts)
+
+
+def execute_cell(
+    spec: SimSpec,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    trace_dir: Optional[str] = None,
+) -> RunStats:
+    """Run one cell in a fresh worker process and block for its result.
+
+    The single-cell unit of the PR-2 fan-out: process isolation, an
+    optional per-cell wall-clock timeout, and up to ``retries``
+    re-executions after a worker crash or timeout.  Structured
+    simulation failures (stall, deadlock, plain errors) are **not**
+    retried — they are deterministic functions of the spec — and raise
+    :class:`CellExecutionError` immediately.
+    """
+    ctx = multiprocessing.get_context()
+    attempt = 0
+    while True:
+        attempt += 1
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_cell_entry,
+            args=(spec.to_dict(), child_conn, trace_dir),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        payload = None
+        timed_out = False
+        try:
+            if timeout_s is not None and not parent_conn.poll(timeout_s):
+                timed_out = True
+            else:
+                try:
+                    payload = parent_conn.recv()
+                except (EOFError, OSError):
+                    payload = None  # worker died before sending
+        finally:
+            parent_conn.close()
+            if payload is None:
+                process.terminate()
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+                process.join()
+
+        if payload is not None and payload[0] == "ok":
+            return RunStats.from_dict(payload[1])
+        if payload is not None:
+            __, kind, message, trace = payload
+            raise CellExecutionError(
+                kind, f"{message}\n{trace}", attempts=attempt
+            )
+        if timed_out:
+            kind, message = "timeout", f"exceeded {timeout_s:.1f}s"
+        else:
+            kind = "crash"
+            message = f"worker exited with code {process.exitcode}"
+        if attempt <= retries:
+            continue
+        raise CellExecutionError(kind, message, attempts=attempt)
 
 
 @dataclass

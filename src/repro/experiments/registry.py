@@ -8,11 +8,12 @@ Every experiment module exposes the same two-function interface:
   paper-style text output given those cells' results.
 
 :func:`run_experiment` is the single code path that executes them: it
-collects the cells, hands them to the orchestrator (parallelism, result
-cache, failure records), and renders.  The CLI's ``experiments`` and
-``sweep`` commands and the modules' own ``main()`` entry points all land
-here, so cells shared between experiments (Figs 13/14/15 and Table 5
-overlap heavily) are simulated exactly once per cache.
+collects the cells, hands them to the :mod:`repro.api` facade
+(parallelism, result cache, failure records), and renders.  The CLI's
+``experiments`` and ``sweep`` commands and the modules' own ``main()``
+entry points all land here, so cells shared between experiments (Figs
+13/14/15 and Table 5 overlap heavily) are simulated exactly once per
+cache.
 """
 
 from __future__ import annotations
@@ -20,11 +21,8 @@ from __future__ import annotations
 import importlib
 from typing import Callable, Optional
 
-from repro.experiments.orchestrator import (
-    SweepSummary,
-    results_by_spec,
-    run_sweep,
-)
+from repro import api
+from repro.experiments.orchestrator import SweepSummary, results_by_spec
 
 #: Paper presentation order; also the CLI's ``experiments`` choices.
 EXPERIMENT_NAMES: tuple[str, ...] = (
@@ -59,7 +57,7 @@ def run_experiment(
     """
     module = get_experiment(name)
     specs = module.cells()
-    summary = run_sweep(
+    summary = api.sweep(
         specs,
         jobs=jobs,
         use_cache=use_cache,

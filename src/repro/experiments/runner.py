@@ -1,9 +1,9 @@
 """Shared experiment helpers: the legacy runner shim and table formatting.
 
-The simulation entry point moved to :mod:`repro.experiments.spec`
-(``run_spec`` over a frozen :class:`~repro.experiments.spec.SimSpec`);
-grids of cells run through :mod:`repro.experiments.orchestrator`.
-``run_scheme`` below survives as a deprecated keyword-argument shim.
+The simulation entry point moved to the :mod:`repro.api` facade
+(``repro.api.run`` over a frozen :class:`~repro.experiments.spec.SimSpec`;
+grids of cells through ``repro.api.sweep``).  ``run_scheme`` below
+survives as a deprecated keyword-argument shim over the facade.
 """
 
 from __future__ import annotations
@@ -14,7 +14,7 @@ from typing import Optional
 from repro.core.schemes import Scheme
 from repro.core.system import SystemConfig, RunStats
 from repro.experiments.config import ExperimentScale
-from repro.experiments.spec import SimSpec, run_spec
+from repro.experiments.spec import SimSpec
 
 # The paper's presentation order (Fig 13/15 legends).
 SCHEME_ORDER: tuple[Scheme, ...] = (
@@ -38,16 +38,20 @@ def run_scheme(
 
     .. deprecated::
         Build a :class:`~repro.experiments.spec.SimSpec` and call
-        :func:`~repro.experiments.spec.run_spec` instead — specs are
-        hashable, serializable, and cacheable by the orchestrator.  This
-        shim remains for callers of the original kwargs API.
+        :func:`repro.api.run` instead — the facade returns typed
+        results, and its specs are hashable, serializable, and cacheable
+        by the orchestrator.  This shim remains for callers of the
+        original kwargs API.
     """
     warnings.warn(
         "run_scheme() is deprecated; use "
-        "repro.experiments.spec.run_spec(SimSpec.make(...))",
+        "repro.api.run(SimSpec.make(...)) — the unified submission "
+        "facade (repro.api.run/sweep/submit)",
         DeprecationWarning,
         stacklevel=2,
     )
+    from repro import api
+
     spec = SimSpec.make(
         scheme,
         benchmark,
@@ -56,7 +60,7 @@ def run_scheme(
         layers=num_layers,
         pillars=num_pillars,
     )
-    return run_spec(spec, system_config=system_config)
+    return api.run(spec, system_config=system_config).stats
 
 
 def format_table(

@@ -1,0 +1,22 @@
+"""``repro.serve``: the multi-tenant sweep service.
+
+Turns the CLI batch tool into an async simulation server:
+
+* :mod:`repro.serve.scheduler` — the :class:`~repro.serve.scheduler.JobStore`
+  core: per-tenant fair queuing, in-flight dedup by ``spec_hash``,
+  bounded worker pool over the PR-2 process-per-cell fan-out, and
+  backpressure via :class:`~repro.serve.scheduler.QueueFullError`.
+* :mod:`repro.serve.server` — a stdlib-only asyncio HTTP/JSON front end
+  (submit grids, stream NDJSON progress, fetch results and cached
+  artifacts) started by ``python -m repro serve``.
+* :mod:`repro.serve.client` — sync and async clients; ``repro sweep
+  --server URL`` routes an ordinary sweep through a running server.
+
+Everything rides on the content-addressed ``.repro_cache`` store, so a
+server and local sweeps sharing a cache directory also share results.
+"""
+
+from repro.serve.scheduler import Job, JobStore, QueueFullError
+from repro.serve.server import SweepServer
+
+__all__ = ["Job", "JobStore", "QueueFullError", "SweepServer"]

@@ -1,0 +1,346 @@
+"""Clients for the sweep service.
+
+* :class:`ServeClient` — synchronous, ``http.client``-based; what the
+  CLI's ``repro sweep --server URL`` uses.  :meth:`ServeClient.sweep`
+  submits a grid (retrying with backoff while the server sheds load),
+  waits on the NDJSON event stream, and folds the delivered results back
+  into an ordinary
+  :class:`~repro.experiments.orchestrator.SweepSummary`, so server-side
+  and local sweeps are interchangeable to callers.
+* :class:`AsyncServeClient` — raw-asyncio, one connection per request;
+  used by the load harness to hold a thousand submissions in flight on
+  one event loop.
+
+Both speak the plain JSON surface of :mod:`repro.serve.server`; neither
+imports anything beyond the stdlib.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import time
+from typing import Iterator, Optional, Sequence
+from urllib.parse import urlsplit
+
+from repro.core.system import RunStats
+from repro.experiments.orchestrator import CellFailure, SweepSummary
+from repro.experiments.spec import SimSpec
+
+
+class ServeError(RuntimeError):
+    """Non-2xx response from the server."""
+
+    def __init__(self, status: int, body: dict):
+        error = body.get("error", {}) if isinstance(body, dict) else {}
+        super().__init__(
+            f"HTTP {status}: {error.get('kind', 'error')}: "
+            f"{error.get('message', body)}"
+        )
+        self.status = status
+        self.body = body
+
+
+class ServerBusy(ServeError):
+    """429: the store's pending-cell queue is full; retry later."""
+
+    def __init__(self, status: int, body: dict, retry_after_s: float):
+        super().__init__(status, body)
+        self.retry_after_s = retry_after_s
+
+
+def _raise_for_status(status: int, headers, body: dict) -> None:
+    if 200 <= status < 300:
+        return
+    if status == 429:
+        retry_after = body.get("error", {}).get("retry_after_s")
+        if retry_after is None:
+            try:
+                retry_after = float(headers.get("Retry-After", 1.0))
+            except (TypeError, ValueError):
+                retry_after = 1.0
+        raise ServerBusy(status, body, float(retry_after))
+    raise ServeError(status, body)
+
+
+def summary_from_results(results_body: dict) -> SweepSummary:
+    """Fold a job's results body into an ordinary sweep summary.
+
+    ``simulated`` counts cells this server actually ran for the job;
+    dedup ride-alongs and submit-time cache hits both count as
+    ``cached`` (no simulation happened on this job's behalf), mirroring
+    what a warm local sweep would report.
+    """
+    summary = SweepSummary()
+    for item in results_body.get("results", ()):
+        spec = SimSpec.from_dict(item["spec"])
+        summary.results[spec] = RunStats.from_dict(item["stats"])
+        if item.get("origin") == "simulated":
+            summary.simulated += 1
+        else:
+            summary.cached += 1
+    for item in results_body.get("failures", ()):
+        error = item.get("error", {})
+        summary.failures.append(CellFailure(
+            spec=SimSpec.from_dict(item["spec"]),
+            kind=error.get("kind", "error"),
+            message=error.get("message", ""),
+            attempts=error.get("attempts", 1),
+        ))
+    summary.elapsed_s = results_body.get("elapsed_s", 0.0)
+    return summary
+
+
+class ServeClient:
+    """Synchronous client; one HTTP connection per call."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8731,
+        tenant: str = "default",
+        timeout_s: float = 300.0,
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+
+    @classmethod
+    def from_url(cls, url: str, **kwargs) -> "ServeClient":
+        """Client for ``http://host:port`` (the CLI's --server value)."""
+        parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
+        if parts.scheme != "http":
+            raise ValueError(f"only http:// servers are supported: {url!r}")
+        return cls(
+            host=parts.hostname or "127.0.0.1",
+            port=parts.port or 8731,
+            **kwargs,
+        )
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> tuple[int, dict, dict]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            body = None
+            headers = {"X-Repro-Tenant": self.tenant}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            parsed = json.loads(raw) if raw else {}
+            return response.status, dict(response.getheaders()), parsed
+        finally:
+            conn.close()
+
+    def _json(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
+        status, headers, body = self._request(method, path, payload)
+        _raise_for_status(status, headers, body)
+        return body
+
+    # -- surface ---------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")
+
+    def submit(self, specs: Sequence[SimSpec]) -> dict:
+        """Submit a grid; returns the job snapshot (raises ServerBusy on 429)."""
+        return self._json("POST", "/jobs", {
+            "tenant": self.tenant,
+            "specs": [spec.to_dict() for spec in specs],
+        })
+
+    def job(self, job_id: str, detail: bool = True) -> dict:
+        suffix = "" if detail else "?detail=0"
+        return self._json("GET", f"/jobs/{job_id}{suffix}")
+
+    def results(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}/results")
+
+    def artifact(self, spec_hash: str) -> dict:
+        return self._json("GET", f"/cells/{spec_hash}")
+
+    def iter_events(self, job_id: str) -> Iterator[dict]:
+        """The job's NDJSON event stream, replayed then followed to the end."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request(
+                "GET",
+                f"/jobs/{job_id}/events",
+                headers={"X-Repro-Tenant": self.tenant},
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                _raise_for_status(
+                    response.status,
+                    dict(response.getheaders()),
+                    json.loads(raw) if raw else {},
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str) -> dict:
+        """Follow the event stream until the job ends; returns results."""
+        for event in self.iter_events(job_id):
+            if event.get("event") == "done":
+                break
+        return self.results(job_id)
+
+    def sweep(
+        self,
+        specs: Sequence[SimSpec],
+        max_retries: int = 20,
+        progress=None,
+    ) -> SweepSummary:
+        """Submit + wait + fold into a SweepSummary (the CLI client path).
+
+        Respects backpressure: a 429 sleeps for the server's suggested
+        Retry-After and resubmits, up to ``max_retries`` times.
+        """
+        attempt = 0
+        while True:
+            try:
+                snapshot = self.submit(specs)
+                break
+            except ServerBusy as busy:
+                attempt += 1
+                if attempt > max_retries:
+                    raise
+                if progress is not None:
+                    progress(
+                        f"server busy; retrying in {busy.retry_after_s:.1f}s "
+                        f"({attempt}/{max_retries})"
+                    )
+                time.sleep(busy.retry_after_s)
+        job_id = snapshot["job_id"]
+        if progress is not None:
+            for event in self.iter_events(job_id):
+                if event.get("event") == "cell" and event.get("state") in (
+                    "done", "failed"
+                ):
+                    progress(
+                        f"{event.get('label', event.get('spec_hash'))}: "
+                        f"{event['state']} ({event.get('origin', '-')})"
+                    )
+                elif event.get("event") == "done":
+                    break
+            results_body = self.results(job_id)
+        else:
+            results_body = self.wait(job_id)
+        return summary_from_results(results_body)
+
+
+class AsyncServeClient:
+    """Asyncio client: one short-lived connection per request."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8731,
+        tenant: str = "default",
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+
+    async def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> tuple[int, dict]:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            body = b""
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"X-Repro-Tenant: {self.tenant}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            writer.write(head + body)
+            await writer.drain()
+
+            status_line = await reader.readline()
+            status = int(status_line.split()[1])
+            retry_after = None
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "retry-after":
+                    retry_after = value.strip()
+            raw = await reader.read()
+            parsed = json.loads(raw) if raw.strip() else {}
+            headers = (
+                {"Retry-After": retry_after} if retry_after is not None else {}
+            )
+            _raise_for_status(status, headers, parsed)
+            return status, parsed
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def submit(self, specs: Sequence[SimSpec]) -> dict:
+        __, body = await self._request("POST", "/jobs", {
+            "tenant": self.tenant,
+            "specs": [spec.to_dict() for spec in specs],
+        })
+        return body
+
+    async def job(self, job_id: str, detail: bool = False) -> dict:
+        suffix = "" if detail else "?detail=0"
+        __, body = await self._request("GET", f"/jobs/{job_id}{suffix}")
+        return body
+
+    async def results(self, job_id: str) -> dict:
+        __, body = await self._request("GET", f"/jobs/{job_id}/results")
+        return body
+
+    async def stats(self) -> dict:
+        __, body = await self._request("GET", "/stats")
+        return body
+
+    async def wait(
+        self, job_id: str, poll_s: float = 0.05, timeout_s: float = 600.0
+    ) -> dict:
+        """Poll the job until done; returns the final (detail-free) snapshot."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            snapshot = await self.job(job_id, detail=False)
+            if snapshot["state"] == "done":
+                return snapshot
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']} "
+                    f"after {timeout_s:.0f}s"
+                )
+            await asyncio.sleep(poll_s)

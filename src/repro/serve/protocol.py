@@ -1,0 +1,143 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The sweep service deliberately avoids web-framework dependencies — the
+container ships only the scientific toolchain — so this module provides
+the two things the server needs from HTTP and nothing more:
+
+* :func:`read_request` — parse one request (request line, headers, a
+  Content-Length body) from a stream reader, and
+* :func:`render_response` / :func:`render_stream_head` — serialize
+  responses; normal replies carry ``Content-Length`` and close the
+  connection, NDJSON event streams send headers up front and write
+  lines until the job finishes (``Connection: close`` delimits the
+  body, so clients read to EOF).
+
+One request per connection keeps the framing trivial and matches the
+client's usage (submissions and polls are single exchanges; streams are
+long-lived by design).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, unquote
+
+#: Reject request bodies beyond this (a 100k-cell grid is ~40 MB).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Reason phrases for the statuses the server actually emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class ProtocolError(ValueError):
+    """Malformed or oversized request; maps to a 400/413 response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def segments(self) -> list[str]:
+        """Non-empty path segments: ``/jobs/ab12/events`` ->
+        ``["jobs", "ab12", "events"]``."""
+        return [part for part in self.path.split("/") if part]
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY_BYTES
+) -> Request | None:
+    """Parse one request; None when the peer closed before sending one."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ProtocolError(400, f"malformed request line: {line!r}")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise ProtocolError(400, "non-integer Content-Length") from None
+    if length < 0 or length > max_body:
+        raise ProtocolError(413, f"body of {length} bytes exceeds {max_body}")
+    body = await reader.readexactly(length) if length else b""
+
+    path, _sep, query_string = target.partition("?")
+    return Request(
+        method=method.upper(),
+        path=unquote(path),
+        query=parse_qs(query_string),
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(
+    status: int, content_type: str, extra_headers: tuple[tuple[str, str], ...]
+) -> list[str]:
+    lines = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'OK')}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    return lines
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """A complete fixed-length response."""
+    lines = _head(status, content_type, extra_headers)
+    lines.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def render_stream_head(
+    status: int = 200,
+    content_type: str = "application/x-ndjson",
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """Headers for a streamed body delimited by connection close."""
+    lines = _head(status, content_type, extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")

@@ -1,0 +1,517 @@
+"""Multi-tenant job store: the scheduling core of ``repro serve``.
+
+The PR-2 orchestrator made every cell a pure function of its
+``spec_hash`` with a content-addressed result cache — exactly the shape
+of a shardable service.  This module turns that batch tool into an
+async-submittable store:
+
+* **submission** — a :class:`Job` is one tenant's grid of
+  :class:`~repro.experiments.spec.SimSpec` cells; cache hits resolve at
+  submit time, the rest enter the tenant's FIFO queue.
+* **in-flight dedup** — cells are identified by ``spec_hash``; a spec
+  already queued or running (for *any* tenant, or earlier in the same
+  grid) is not enqueued again — the new cell subscribes to the in-flight
+  execution and receives the same result (origin ``"deduped"``).
+* **fair scheduling** — free worker slots are granted round-robin across
+  tenants with queued work, so one tenant's 10,000-cell grid cannot
+  starve another's smoke test.
+* **backpressure** — :meth:`JobStore.submit` raises
+  :class:`QueueFullError` once the number of *distinct* pending cells
+  reaches ``max_pending``; the HTTP layer maps it to 429 + Retry-After.
+* **structured failure** — failures carry the PR-5 ``CellFailure`` kinds
+  ("error" | "timeout" | "crash" | "stall" | "deadlock") into per-cell
+  error bodies and per-job ``failure_kinds`` health counters.
+
+Everything runs on one asyncio event loop; the only threads are the
+executor pool hosting the blocking per-cell worker processes
+(:func:`repro.experiments.orchestrator.execute_cell`).  ``executor=
+"inline"`` swaps the worker process for an in-thread ``run_spec`` call —
+faster for tiny cells and the deterministic choice for tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import secrets
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Callable, Optional, Sequence
+
+from repro.core.system import RunStats
+from repro.experiments.orchestrator import (
+    CellExecutionError,
+    ResultCache,
+    _failure_kind,
+    execute_cell,
+)
+from repro.experiments.spec import SimSpec, run_spec
+
+#: Cell origins: how a delivered result was produced.
+ORIGIN_CACHED = "cached"        # satisfied from the on-disk cache at submit
+ORIGIN_SIMULATED = "simulated"  # this cell's job triggered the simulation
+ORIGIN_DEDUPED = "deduped"      # rode along on another in-flight cell
+
+
+class QueueFullError(RuntimeError):
+    """Backpressure signal: the store's pending-cell limit is reached."""
+
+    def __init__(self, pending: int, limit: int, retry_after_s: float):
+        super().__init__(
+            f"{pending} cell(s) pending >= limit {limit}; "
+            f"retry after {retry_after_s:.1f}s"
+        )
+        self.pending = pending
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class CellRecord:
+    """One cell of one job, through its lifecycle."""
+
+    index: int
+    spec: SimSpec
+    spec_hash: str
+    state: str = "queued"  # "queued" | "running" | "done" | "failed"
+    origin: Optional[str] = None
+    stats: Optional[RunStats] = None
+    error: Optional[dict] = None  # {"kind", "message", "attempts"}
+
+    def status_dict(self) -> dict:
+        data = {
+            "index": self.index,
+            "spec_hash": self.spec_hash,
+            "label": self.spec.label(),
+            "state": self.state,
+        }
+        if self.origin is not None:
+            data["origin"] = self.origin
+        if self.error is not None:
+            data["error"] = dict(self.error)
+        return data
+
+
+class Job:
+    """Handle to one submitted grid; all methods run on the store's loop."""
+
+    def __init__(self, job_id: str, tenant: str, specs: Sequence[SimSpec]):
+        self.job_id = job_id
+        self.tenant = tenant
+        self.cells = [
+            CellRecord(index=i, spec=spec, spec_hash=spec.spec_hash())
+            for i, spec in enumerate(specs)
+        ]
+        self.created_at = time.time()
+        self._started = time.monotonic()
+        self.elapsed_s: Optional[float] = None
+        self.failure_kinds: dict[str, int] = {}
+        self.event_log: list[dict] = []
+        self._done = asyncio.Event()
+        self._changed = asyncio.Event()
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def is_done(self) -> bool:
+        return self._done.is_set()
+
+    def _count(self, *states: str) -> int:
+        return sum(1 for cell in self.cells if cell.state in states)
+
+    def _count_origin(self, origin: str) -> int:
+        return sum(1 for cell in self.cells if cell.origin == origin)
+
+    def snapshot(self, detail: bool = True) -> dict:
+        data = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": "done" if self.is_done else "running",
+            "cells": len(self.cells),
+            "queued": self._count("queued"),
+            "running": self._count("running"),
+            "done": self._count("done"),
+            "failed": self._count("failed"),
+            "cached": self._count_origin(ORIGIN_CACHED),
+            "deduped": self._count_origin(ORIGIN_DEDUPED),
+            "simulated": self._count_origin(ORIGIN_SIMULATED),
+            "failure_kinds": dict(self.failure_kinds),
+            "created_at": self.created_at,
+            "elapsed_s": (
+                self.elapsed_s
+                if self.elapsed_s is not None
+                else time.monotonic() - self._started
+            ),
+        }
+        if detail:
+            data["cells_detail"] = [cell.status_dict() for cell in self.cells]
+        return data
+
+    def results_dict(self) -> dict:
+        """Full results body: delivered stats plus structured failures."""
+        results = []
+        failures = []
+        for cell in self.cells:
+            if cell.state == "done" and cell.stats is not None:
+                results.append({
+                    "index": cell.index,
+                    "spec": cell.spec.to_dict(),
+                    "spec_hash": cell.spec_hash,
+                    "origin": cell.origin,
+                    "stats": cell.stats.to_dict(),
+                })
+            elif cell.state == "failed":
+                failures.append({
+                    "index": cell.index,
+                    "spec": cell.spec.to_dict(),
+                    "spec_hash": cell.spec_hash,
+                    "error": dict(cell.error or {}),
+                })
+        data = self.snapshot(detail=False)
+        data["results"] = results
+        data["failures"] = failures
+        return data
+
+    # -- events ----------------------------------------------------------------
+
+    def emit(self, event: dict) -> None:
+        self.event_log.append(event)
+        self._changed.set()
+
+    def _cell_event(self, cell: CellRecord, with_stats: bool = True) -> dict:
+        event = {"event": "cell", "job_id": self.job_id}
+        event.update(cell.status_dict())
+        if with_stats and cell.stats is not None:
+            event["stats"] = cell.stats.to_dict()
+        return event
+
+    async def wait(self) -> dict:
+        """Block until every cell resolved; returns the final snapshot."""
+        await self._done.wait()
+        return self.snapshot(detail=False)
+
+    async def events(self) -> AsyncIterator[dict]:
+        """Replay the event log, then follow live until the job is done."""
+        index = 0
+        while True:
+            self._changed.clear()
+            while index < len(self.event_log):
+                yield self.event_log[index]
+                index += 1
+            if self.is_done:
+                return
+            await self._changed.wait()
+
+    def _maybe_finish(self) -> None:
+        if self.is_done or self._count("queued", "running"):
+            return
+        self.elapsed_s = time.monotonic() - self._started
+        self.emit({"event": "done", **self.snapshot(detail=False)})
+        self._done.set()
+
+
+@dataclass
+class _InFlight:
+    """One distinct spec being executed; fan-in point for deduped cells."""
+
+    spec: SimSpec
+    spec_hash: str
+    tenant: str  # tenant whose queue carries the execution
+    subscribers: list[tuple[Job, int]] = field(default_factory=list)
+
+
+class JobStore:
+    """Async-submittable, multi-tenant front of the sweep orchestrator."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        max_pending: int = 1024,
+        use_cache: bool = True,
+        cache_dir: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        executor: str = "process",
+        runner: Optional[Callable[[SimSpec], RunStats]] = None,
+    ):
+        if executor not in ("process", "inline"):
+            raise ValueError(
+                f"executor must be 'process' or 'inline', got {executor!r}"
+            )
+        self.workers = max(1, workers)
+        self.max_pending = max_pending
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.executor_kind = executor
+        self.cache = ResultCache(cache_dir) if use_cache else None
+        self._runner = runner
+        self._inflight: dict[str, _InFlight] = {}
+        self._queues: dict[str, deque[_InFlight]] = {}
+        self._tenant_order: deque[str] = deque()
+        self._jobs: dict[str, Job] = {}
+        self._work = asyncio.Event()
+        self._tasks: list[asyncio.Task] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._running = False
+        self._job_counter = 0
+        self.totals = {
+            "jobs_submitted": 0,
+            "jobs_done": 0,
+            "submissions_rejected": 0,
+            "cells_delivered": 0,
+            "cells_simulated": 0,
+            "cells_cached": 0,
+            "cells_deduped": 0,
+            "cells_failed": 0,
+            "failure_kinds": {},
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    async def start(self) -> "JobStore":
+        if self._running:
+            return self
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._running = True
+        self._tasks = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.workers)
+        ]
+        return self
+
+    async def close(self) -> None:
+        self._running = False
+        self._work.set()  # wake idle workers so they observe the stop
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- submission ------------------------------------------------------------
+
+    @property
+    def pending_cells(self) -> int:
+        """Distinct cells queued or running (the backpressure measure)."""
+        return len(self._inflight)
+
+    def retry_after_s(self) -> float:
+        """Crude drain estimate used for the 429 Retry-After header."""
+        backlog = max(1, self.pending_cells - self.workers)
+        return min(60.0, max(1.0, backlog / self.workers))
+
+    def get_job(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    async def submit(
+        self, specs: Sequence[SimSpec], tenant: str = "default"
+    ) -> Job:
+        """Register a grid for ``tenant``; resolves/queues every cell.
+
+        Raises :class:`QueueFullError` (leaving no state behind) when the
+        cells that would *newly* enter the queue exceed the pending
+        limit.  Cache hits and dedup subscriptions are always accepted —
+        they consume no worker capacity.
+        """
+        if not self._running:
+            raise RuntimeError("JobStore is not running; call start() first")
+        self._job_counter += 1
+        job = Job(
+            f"j{self._job_counter:06d}-{secrets.token_hex(3)}",
+            tenant,
+            specs,
+        )
+
+        # Plan first (no mutation), so a full queue rejects atomically.
+        cached: list[tuple[CellRecord, RunStats]] = []
+        subscribe: list[CellRecord] = []
+        fresh: dict[str, list[CellRecord]] = {}
+        for cell in job.cells:
+            hit = self.cache.get(cell.spec) if self.cache else None
+            if hit is not None:
+                cached.append((cell, hit))
+            elif cell.spec_hash in self._inflight:
+                subscribe.append(cell)
+            else:
+                fresh.setdefault(cell.spec_hash, []).append(cell)
+        if self.pending_cells + len(fresh) > self.max_pending:
+            self.totals["submissions_rejected"] += 1
+            raise QueueFullError(
+                self.pending_cells, self.max_pending, self.retry_after_s()
+            )
+
+        # Commit.
+        self._jobs[job.job_id] = job
+        self.totals["jobs_submitted"] += 1
+        job.emit({
+            "event": "job",
+            "job_id": job.job_id,
+            "tenant": tenant,
+            "cells": len(job.cells),
+            "cached_at_submit": len(cached),
+        })
+        for cell, stats in cached:
+            cell.state = "done"
+            cell.origin = ORIGIN_CACHED
+            cell.stats = stats
+            self.totals["cells_cached"] += 1
+            self.totals["cells_delivered"] += 1
+            job.emit(job._cell_event(cell))
+        for cell in subscribe:
+            self._inflight[cell.spec_hash].subscribers.append(
+                (job, cell.index)
+            )
+        for spec_hash, cells in fresh.items():
+            entry = _InFlight(
+                spec=cells[0].spec, spec_hash=spec_hash, tenant=tenant
+            )
+            entry.subscribers.extend((job, cell.index) for cell in cells)
+            self._inflight[spec_hash] = entry
+            self._enqueue(tenant, entry)
+        job._maybe_finish()  # fully cache-hit grids complete immediately
+        if job.is_done:
+            self.totals["jobs_done"] += 1
+        return job
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _enqueue(self, tenant: str, entry: _InFlight) -> None:
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+            self._tenant_order.append(tenant)
+        queue.append(entry)
+        self._work.set()
+
+    def _next_entry(self) -> Optional[_InFlight]:
+        """Round-robin pop across tenants with queued work."""
+        for __ in range(len(self._tenant_order)):
+            tenant = self._tenant_order[0]
+            self._tenant_order.rotate(-1)
+            queue = self._queues[tenant]
+            if queue:
+                entry = queue.popleft()
+                if not queue:
+                    del self._queues[tenant]
+                    self._tenant_order.remove(tenant)
+                return entry
+        return None
+
+    async def _worker(self) -> None:
+        while self._running:
+            entry = self._next_entry()
+            if entry is None:
+                self._work.clear()
+                await self._work.wait()
+                continue
+            await self._execute(entry)
+
+    # -- execution -------------------------------------------------------------
+
+    def _run_cell_blocking(self, spec: SimSpec) -> RunStats:
+        """Executor-thread body: simulate one cell and persist it."""
+        if self._runner is not None:
+            stats = self._runner(spec)
+        elif self.executor_kind == "inline":
+            stats = run_spec(spec)
+        else:
+            stats = execute_cell(
+                spec, timeout_s=self.timeout_s, retries=self.retries
+            )
+        if self.cache is not None:
+            self.cache.put(spec, stats)
+        return stats
+
+    async def _execute(self, entry: _InFlight) -> None:
+        for job, index in entry.subscribers:
+            cell = job.cells[index]
+            cell.state = "running"
+            job.emit(job._cell_event(cell))
+        loop = asyncio.get_running_loop()
+        stats: Optional[RunStats] = None
+        error: Optional[dict] = None
+        try:
+            stats = await loop.run_in_executor(
+                self._pool, self._run_cell_blocking, entry.spec
+            )
+        except CellExecutionError as exc:
+            error = {
+                "kind": exc.kind,
+                "message": exc.message,
+                "attempts": exc.attempts,
+            }
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # inline runner failures
+            error = {
+                "kind": _failure_kind(exc),
+                "message": f"{type(exc).__name__}: {exc}",
+                "attempts": 1,
+            }
+        finally:
+            self._inflight.pop(entry.spec_hash, None)
+        self._resolve(entry, stats, error)
+
+    def _resolve(
+        self,
+        entry: _InFlight,
+        stats: Optional[RunStats],
+        error: Optional[dict],
+    ) -> None:
+        for position, (job, index) in enumerate(entry.subscribers):
+            cell = job.cells[index]
+            if error is None:
+                cell.state = "done"
+                cell.origin = (
+                    ORIGIN_SIMULATED if position == 0 else ORIGIN_DEDUPED
+                )
+                cell.stats = stats
+                key = (
+                    "cells_simulated" if position == 0 else "cells_deduped"
+                )
+                self.totals[key] += 1
+                self.totals["cells_delivered"] += 1
+            else:
+                cell.state = "failed"
+                cell.error = dict(error)
+                kind = error["kind"]
+                job.failure_kinds[kind] = job.failure_kinds.get(kind, 0) + 1
+                kinds = self.totals["failure_kinds"]
+                kinds[kind] = kinds.get(kind, 0) + 1
+                self.totals["cells_failed"] += 1
+            job.emit(job._cell_event(cell))
+            if not job.is_done:
+                job._maybe_finish()
+                if job.is_done:
+                    self.totals["jobs_done"] += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats_dict(self) -> dict:
+        return {
+            **{k: (dict(v) if isinstance(v, dict) else v)
+               for k, v in self.totals.items()},
+            "pending_cells": self.pending_cells,
+            "max_pending": self.max_pending,
+            "workers": self.workers,
+            "executor": self.executor_kind,
+            "tenants_queued": len(self._queues),
+            "jobs_open": sum(
+                1 for job in self._jobs.values() if not job.is_done
+            ),
+            "cache_enabled": self.cache is not None,
+        }

@@ -1,0 +1,292 @@
+"""Async HTTP/JSON front end for the sweep service.
+
+``python -m repro serve`` boots one :class:`SweepServer` over a
+:class:`~repro.serve.scheduler.JobStore`.  The surface is deliberately
+small and stdlib-only:
+
+==========================  ====================================================
+``GET  /healthz``           liveness + worker-pool state
+``GET  /stats``             store-wide counters (dedup, cache, failure kinds)
+``POST /jobs``              submit a grid: ``{"specs": [spec...], "tenant"?}``
+                            -> 202 with the job snapshot, or 429 + Retry-After
+``GET  /jobs/<id>``         job status snapshot (per-cell states, health)
+``GET  /jobs/<id>/events``  NDJSON stream: replay + follow until the job ends
+``GET  /jobs/<id>/results`` delivered stats + structured failures
+``GET  /cells/<hash>``      the raw cached artifact for one spec hash
+==========================  ====================================================
+
+Submissions go through the :func:`repro.api.submit` facade — the server
+is just HTTP framing around it.  Tenants identify themselves via the
+``"tenant"`` body field or the ``X-Repro-Tenant`` header; there is no
+authentication (the service is a lab-cluster tool, bind it accordingly).
+
+Error responses are structured JSON bodies::
+
+    {"error": {"kind": "queue_full", "message": "...", "retry_after_s": 2.0}}
+
+with cell-level failures inside job results carrying the PR-5
+``CellFailure`` kinds ("error" | "timeout" | "crash" | "stall" |
+"deadlock").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Callable, Optional
+
+from repro import api
+from repro.experiments.spec import SimSpec
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    read_request,
+    render_response,
+    render_stream_head,
+)
+from repro.serve.scheduler import JobStore, QueueFullError
+
+SERVER_NAME = "repro-serve/1"
+
+
+def _json_body(obj: dict) -> bytes:
+    return (json.dumps(obj) + "\n").encode("utf-8")
+
+
+def _error_body(kind: str, message: str, **extra) -> bytes:
+    return _json_body({"error": {"kind": kind, "message": message, **extra}})
+
+
+class SweepServer:
+    """One asyncio HTTP server bound to one job store."""
+
+    def __init__(
+        self, store: JobStore, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.store = store
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> int:
+        """Bind and listen; returns the actual port (useful with port 0)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except ProtocolError as exc:
+                writer.write(render_response(
+                    exc.status, _error_body("bad_request", exc.message)
+                ))
+            except asyncio.IncompleteReadError:
+                request = None
+            else:
+                if request is not None:
+                    await self._dispatch(request, writer)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception as exc:  # never let a handler kill the server
+            with contextlib.suppress(Exception):
+                writer.write(render_response(
+                    500,
+                    _error_body(
+                        "internal", f"{type(exc).__name__}: {exc}"
+                    ),
+                ))
+                await writer.drain()
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        segments = request.segments
+        if segments == ["healthz"] and request.method == "GET":
+            return self._reply(writer, 200, self._health())
+        if segments == ["stats"] and request.method == "GET":
+            return self._reply(writer, 200, self.store.stats_dict())
+        if segments == ["jobs"]:
+            if request.method != "POST":
+                return self._method_not_allowed(writer, "POST")
+            return await self._submit(request, writer)
+        if len(segments) >= 2 and segments[0] == "jobs":
+            if request.method != "GET":
+                return self._method_not_allowed(writer, "GET")
+            return await self._job_route(request, writer, segments)
+        if (
+            len(segments) == 2
+            and segments[0] == "cells"
+            and request.method == "GET"
+        ):
+            return self._artifact(writer, segments[1])
+        writer.write(render_response(
+            404, _error_body("not_found", f"no route for {request.path}")
+        ))
+
+    def _reply(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        obj: dict,
+        extra_headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        writer.write(render_response(
+            status,
+            _json_body(obj),
+            extra_headers=(("Server", SERVER_NAME),) + extra_headers,
+        ))
+
+    def _method_not_allowed(
+        self, writer: asyncio.StreamWriter, allowed: str
+    ) -> None:
+        writer.write(render_response(
+            405,
+            _error_body("method_not_allowed", f"use {allowed}"),
+            extra_headers=(("Allow", allowed),),
+        ))
+
+    # -- endpoints -------------------------------------------------------------
+
+    def _health(self) -> dict:
+        return {
+            "status": "ok",
+            "server": SERVER_NAME,
+            "workers": self.store.workers,
+            "executor": self.store.executor_kind,
+            "pending_cells": self.store.pending_cells,
+            "max_pending": self.store.max_pending,
+        }
+
+    async def _submit(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            body = json.loads(request.body or b"{}")
+            raw_specs = body["specs"]
+            if not isinstance(raw_specs, list):
+                raise TypeError("'specs' must be a list of spec objects")
+            specs = [SimSpec.from_dict(item) for item in raw_specs]
+        except (KeyError, TypeError, ValueError) as exc:
+            return self._reply(writer, 400, {
+                "error": {
+                    "kind": "bad_request",
+                    "message": f"invalid submission: {exc}",
+                }
+            })
+        tenant = (
+            body.get("tenant")
+            or request.headers.get("x-repro-tenant")
+            or "default"
+        )
+        try:
+            job = await api.submit(specs, tenant=tenant, store=self.store)
+        except QueueFullError as exc:
+            return self._reply(
+                writer,
+                429,
+                {
+                    "error": {
+                        "kind": "queue_full",
+                        "message": str(exc),
+                        "pending": exc.pending,
+                        "limit": exc.limit,
+                        "retry_after_s": exc.retry_after_s,
+                    }
+                },
+                extra_headers=(
+                    ("Retry-After", f"{max(1, round(exc.retry_after_s))}"),
+                ),
+            )
+        self._reply(writer, 202, job.snapshot(detail=False))
+
+    async def _job_route(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        segments: list[str],
+    ) -> None:
+        job = self.store.get_job(segments[1])
+        if job is None:
+            return self._reply(writer, 404, {
+                "error": {
+                    "kind": "unknown_job",
+                    "message": f"no job {segments[1]!r}",
+                }
+            })
+        tail = segments[2:]
+        if tail == []:
+            detail = request.query.get("detail", ["1"])[0] != "0"
+            return self._reply(writer, 200, job.snapshot(detail=detail))
+        if tail == ["results"]:
+            return self._reply(writer, 200, job.results_dict())
+        if tail == ["events"]:
+            writer.write(render_stream_head(
+                extra_headers=(("Server", SERVER_NAME),)
+            ))
+            await writer.drain()
+            async for event in job.events():
+                writer.write(_json_body(event))
+                await writer.drain()
+            return
+        self._reply(writer, 404, {
+            "error": {
+                "kind": "not_found",
+                "message": f"no job route {'/'.join(tail)!r}",
+            }
+        })
+
+    def _artifact(self, writer: asyncio.StreamWriter, spec_hash: str) -> None:
+        cache = self.store.cache
+        artifact = (
+            cache.read_artifact(spec_hash) if cache is not None else None
+        )
+        if artifact is None:
+            return self._reply(writer, 404, {
+                "error": {
+                    "kind": "unknown_artifact",
+                    "message": (
+                        "result cache disabled" if cache is None
+                        else f"no artifact for {spec_hash!r}"
+                    ),
+                }
+            })
+        self._reply(writer, 200, artifact)
+
+
+async def serve_forever(
+    store: JobStore,
+    host: str = "127.0.0.1",
+    port: int = 8731,
+    ready: Optional[Callable[[int], None]] = None,
+) -> None:
+    """Start the store and server, then run until cancelled (CLI body)."""
+    await store.start()
+    server = SweepServer(store, host, port)
+    bound_port = await server.start()
+    if ready is not None:
+        ready(bound_port)
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await server.close()
+        await store.close()

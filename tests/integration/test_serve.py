@@ -1,0 +1,299 @@
+"""End-to-end tests for the sweep service over real HTTP.
+
+Each fixture boots a :class:`SweepServer` + :class:`JobStore` on an
+event loop in a background thread, bound to an ephemeral port; tests
+talk to it with the synchronous :class:`ServeClient`, exactly as the
+CLI does.  Small grids run the real simulator (inline executor, tiny
+scale); scheduling-behaviour tests inject stub runners.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.core.system import RunStats
+from repro.experiments.config import ExperimentScale
+from repro.experiments.spec import SimSpec
+from repro.serve.client import ServeClient, ServerBusy, ServeError
+from repro.serve.scheduler import JobStore
+from repro.serve.server import SweepServer
+
+TINY = ExperimentScale(name="tiny", refs_per_cpu=50)
+
+
+def make_spec(benchmark="art", **overrides) -> SimSpec:
+    return SimSpec.make(
+        Scheme.CMP_DNUCA_3D, benchmark, scale=TINY, **overrides
+    )
+
+
+def fake_stats(spec: SimSpec, latency: float = 42.0) -> RunStats:
+    return RunStats(
+        scheme=spec.scheme,
+        avg_l2_hit_latency=latency,
+        avg_l2_miss_latency=300.0,
+        l2_hits=10,
+        l2_misses=2,
+        migrations=1,
+        ipc=0.5,
+        per_cpu_ipc=[0.5] * 8,
+        l1_miss_rate=0.1,
+        flit_hops=100.0,
+        bus_flits=10.0,
+        invalidations=0,
+        instructions=1000.0,
+        cycles=2000.0,
+    )
+
+
+class LiveServer:
+    """SweepServer on its own event-loop thread, torn down after the test."""
+
+    def __init__(self, **store_kwargs):
+        self.store_kwargs = store_kwargs
+        self.port = 0
+        self.store = None
+        self._ready = threading.Event()
+        self._failure = None
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._thread_main, daemon=True)
+
+    def start(self) -> "LiveServer":
+        self._thread.start()
+        assert self._ready.wait(timeout=30.0), "server never came up"
+        if self._failure is not None:
+            raise self._failure
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+        assert not self._thread.is_alive(), "server thread failed to stop"
+
+    def client(self, tenant: str = "default") -> ServeClient:
+        return ServeClient(port=self.port, tenant=tenant, timeout_s=60.0)
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except Exception as exc:  # surface boot failures to the test thread
+            self._failure = exc
+            self._ready.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.store = JobStore(**self.store_kwargs)
+        await self.store.start()
+        server = SweepServer(self.store, port=0)
+        self.port = await server.start()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.close()
+            await self.store.close()
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """Real-simulation server: inline executor, caching into tmp_path."""
+    server = LiveServer(
+        workers=2,
+        executor="inline",
+        use_cache=True,
+        cache_dir=str(tmp_path / "cache"),
+    ).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def stub_server_factory():
+    """Build servers with injected runners; all torn down at test end."""
+    servers = []
+
+    def build(**store_kwargs):
+        store_kwargs.setdefault("use_cache", False)
+        server = LiveServer(**store_kwargs).start()
+        servers.append(server)
+        return server
+
+    yield build
+    for server in servers:
+        server.stop()
+
+
+class TestSurface:
+    def test_health_and_stats(self, live_server):
+        client = live_server.client()
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert health["executor"] == "inline"
+        stats = client.stats()
+        assert stats["jobs_submitted"] == 0
+
+    def test_unknown_routes_and_methods(self, live_server):
+        client = live_server.client()
+        with pytest.raises(ServeError) as excinfo:
+            client.job("j-nope")
+        assert excinfo.value.status == 404
+        assert excinfo.value.body["error"]["kind"] == "unknown_job"
+
+        status, _, body = client._request("GET", "/no/such/route")
+        assert status == 404
+        status, _, body = client._request("GET", "/jobs")
+        assert status == 405
+
+    def test_invalid_submission_is_400(self, live_server):
+        client = live_server.client()
+        status, _, body = client._request("POST", "/jobs", {"specs": "nope"})
+        assert status == 400
+        assert body["error"]["kind"] == "bad_request"
+        status, _, body = client._request(
+            "POST", "/jobs", {"specs": [{"benchmark": "art"}]}
+        )
+        assert status == 400
+
+
+class TestRealSweep:
+    def test_submit_wait_resubmit_cached(self, live_server):
+        client = live_server.client(tenant="cold")
+        grid = [make_spec(), make_spec(benchmark="swim")]
+
+        summary = client.sweep(grid)
+        assert summary.failed == 0
+        assert summary.simulated == 2
+        assert len(summary.results) == 2
+        for spec in grid:
+            assert summary.results[spec].ipc > 0
+
+        warm = live_server.client(tenant="warm").sweep(grid)
+        assert warm.simulated == 0
+        assert warm.cached == 2
+        assert (
+            warm.results[grid[0]].to_dict()
+            == summary.results[grid[0]].to_dict()
+        )
+
+        totals = client.stats()
+        assert totals["cells_simulated"] == 2
+        assert totals["cells_cached"] == 2
+
+    def test_event_stream_over_http(self, live_server):
+        client = live_server.client()
+        snapshot = client.submit([make_spec()])
+        events = list(client.iter_events(snapshot["job_id"]))
+        assert events[0]["event"] == "job"
+        assert events[-1]["event"] == "done"
+        done_cells = [
+            event for event in events
+            if event["event"] == "cell" and event["state"] == "done"
+        ]
+        assert len(done_cells) == 1
+        assert done_cells[0]["origin"] == "simulated"
+
+    def test_artifact_endpoint(self, live_server):
+        client = live_server.client()
+        spec = make_spec()
+        client.wait(client.submit([spec])["job_id"])
+        artifact = client.artifact(spec.spec_hash())
+        assert artifact["spec"] == spec.to_dict()
+        assert artifact["stats"]["scheme"] == spec.scheme.value
+
+        with pytest.raises(ServeError) as excinfo:
+            client.artifact("0" * 16)
+        assert excinfo.value.status == 404
+
+
+class GatedRunner:
+    def __init__(self):
+        self.calls = []
+        self._lock = threading.Lock()
+        self.gate = threading.Event()
+
+    def __call__(self, spec):
+        with self._lock:
+            self.calls.append(spec)
+        assert self.gate.wait(timeout=30.0)
+        return fake_stats(spec)
+
+
+class TestMultiTenant:
+    def test_identical_grids_simulate_once(self, stub_server_factory):
+        """Satellite contract, over the wire: two tenants, one simulation."""
+        runner = GatedRunner()
+        server = stub_server_factory(workers=2, runner=runner)
+        grid = [make_spec(), make_spec(benchmark="swim")]
+
+        job_a = server.client("tenant-a").submit(grid)
+        job_b = server.client("tenant-b").submit(grid)
+        runner.gate.set()
+
+        results_a = server.client("tenant-a").wait(job_a["job_id"])
+        results_b = server.client("tenant-b").wait(job_b["job_id"])
+        assert len(runner.calls) == 2  # one execution per distinct spec
+        for body in (results_a, results_b):
+            assert body["failed"] == 0
+            assert len(body["results"]) == 2  # both tenants fully served
+        totals = server.client().stats()
+        assert totals["cells_simulated"] == 2
+        assert totals["cells_deduped"] == 2
+
+    def test_backpressure_429_with_retry_after(self, stub_server_factory):
+        runner = GatedRunner()
+        server = stub_server_factory(workers=1, max_pending=1, runner=runner)
+
+        first = server.client("a").submit([make_spec()])
+        with pytest.raises(ServerBusy) as excinfo:
+            server.client("b").submit([make_spec(benchmark="swim")])
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after_s >= 1.0
+        assert excinfo.value.body["error"]["kind"] == "queue_full"
+
+        runner.gate.set()
+        server.client("a").wait(first["job_id"])
+        # Capacity freed: the same submission is accepted now.
+        retry = server.client("b").submit([make_spec(benchmark="swim")])
+        body = server.client("b").wait(retry["job_id"])
+        assert body["failed"] == 0
+        assert server.client().stats()["submissions_rejected"] == 1
+
+    def test_structured_failure_bodies(self, stub_server_factory):
+        class Wedged(RuntimeError):
+            failure_kind = "stall"
+
+        def stalling(spec):
+            raise Wedged("starved for 10000 cycles")
+
+        server = stub_server_factory(workers=1, runner=stalling)
+        client = server.client()
+        body = client.wait(client.submit([make_spec()])["job_id"])
+        assert body["failed"] == 1
+        error = body["failures"][0]["error"]
+        assert error["kind"] == "stall"
+        assert "starved" in error["message"]
+        snapshot = client.job(body["job_id"])
+        assert snapshot["failure_kinds"] == {"stall": 1}
+
+
+class TestCliAgainstServer:
+    def test_sweep_command_uses_server(self, live_server, capsys):
+        from repro.cli import main
+
+        url = f"http://127.0.0.1:{live_server.port}"
+        code = main([
+            "sweep", "--server", url, "--schemes", "CMP-DNUCA-3D",
+            "--benchmarks", "art", "--refs", "50", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep results" in out
+        totals = live_server.client().stats()
+        assert totals["jobs_submitted"] == 1
+        assert totals["cells_simulated"] == 1

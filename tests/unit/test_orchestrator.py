@@ -7,6 +7,7 @@ simulations lives in ``tests/integration/test_sweep_differential.py``.
 """
 
 import json
+import multiprocessing
 import os
 
 import pytest
@@ -100,6 +101,62 @@ class TestResultCache:
             cache._path(other.spec_hash()), cache._path(spec.spec_hash())
         )
         assert cache.get(spec) is None
+
+    def test_racing_writers_never_tear_an_artifact(self, tmp_path):
+        """Concurrent puts on one spec_hash: readers always see a whole
+        artifact (the atomicity the multi-tenant sweep service relies on
+        when two jobs' workers race on the same cell)."""
+        spec = make_spec()
+        latencies = [10.0, 20.0, 30.0, 40.0]
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(len(latencies) + 1)
+        writers = [
+            ctx.Process(
+                target=_hammer_cache,
+                args=(str(tmp_path), spec.to_dict(), latency, 50, barrier),
+            )
+            for latency in latencies
+        ]
+        for writer in writers:
+            writer.start()
+        cache = ResultCache(str(tmp_path))
+        barrier.wait()
+
+        observed = set()
+        while any(writer.is_alive() for writer in writers):
+            hit = cache.get(spec)
+            if hit is not None:
+                observed.add(hit.avg_l2_hit_latency)
+            artifact = cache.read_artifact(spec.spec_hash())
+            if artifact is not None:
+                observed.add(artifact["stats"]["avg_l2_hit_latency"])
+        for writer in writers:
+            writer.join(timeout=60)
+            assert writer.exitcode == 0
+
+        # Every read saw a value some writer actually wrote, never a blend.
+        assert observed
+        assert observed <= set(latencies)
+        final = cache.get(spec)
+        assert final is not None
+        assert final.avg_l2_hit_latency in latencies
+        # No writer leaked its private temp file.
+        leftovers = [
+            name
+            for root, _, names in os.walk(tmp_path)
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+
+def _hammer_cache(root, spec_dict, latency, iterations, barrier):
+    spec = SimSpec.from_dict(spec_dict)
+    cache = ResultCache(root)
+    stats = fake_stats(spec, latency=latency)
+    barrier.wait()
+    for _ in range(iterations):
+        cache.put(spec, stats)
 
 
 class TestSerialSweep:

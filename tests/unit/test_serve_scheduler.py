@@ -1,0 +1,403 @@
+"""Unit tests for the multi-tenant JobStore scheduler.
+
+Cells are stubbed with injected runners (the executor threads call them
+directly), so these tests pin the scheduling semantics — in-flight
+dedup, per-tenant fairness, backpressure, structured failure kinds —
+without simulating anything.  The HTTP layer is covered by
+``tests/integration/test_serve.py``.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.core.system import RunStats
+from repro.experiments.config import ExperimentScale
+from repro.experiments.orchestrator import ResultCache
+from repro.experiments.spec import SimSpec
+from repro.serve.scheduler import JobStore, QueueFullError
+
+TINY = ExperimentScale(name="tiny", refs_per_cpu=50)
+
+
+def make_spec(benchmark="art", **overrides) -> SimSpec:
+    return SimSpec.make(
+        Scheme.CMP_DNUCA_3D, benchmark, scale=TINY, **overrides
+    )
+
+
+def fake_stats(spec: SimSpec, latency: float = 42.0) -> RunStats:
+    return RunStats(
+        scheme=spec.scheme,
+        avg_l2_hit_latency=latency,
+        avg_l2_miss_latency=300.0,
+        l2_hits=10,
+        l2_misses=2,
+        migrations=1,
+        ipc=0.5,
+        per_cpu_ipc=[0.5] * 8,
+        l1_miss_rate=0.1,
+        flit_hops=100.0,
+        bus_flits=10.0,
+        invalidations=0,
+        instructions=1000.0,
+        cycles=2000.0,
+    )
+
+
+class CountingRunner:
+    """Thread-safe runner stub with an optional release gate."""
+
+    def __init__(self, gated: bool = False, fail_for: str = ""):
+        self.calls: list[SimSpec] = []
+        self.order: list[str] = []
+        self._lock = threading.Lock()
+        self._gate = threading.Event()
+        self.fail_for = fail_for
+        if not gated:
+            self._gate.set()
+
+    def release(self):
+        self._gate.set()
+
+    def __call__(self, spec: SimSpec) -> RunStats:
+        with self._lock:
+            self.calls.append(spec)
+            self.order.append(spec.benchmark)
+        assert self._gate.wait(timeout=30.0), "gate never released"
+        if self.fail_for and spec.benchmark == self.fail_for:
+            raise RuntimeError(f"boom on {spec.benchmark}")
+        return fake_stats(spec)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def started_store(**kwargs) -> JobStore:
+    defaults = dict(workers=1, use_cache=False)
+    defaults.update(kwargs)
+    store = JobStore(**defaults)
+    await store.start()
+    return store
+
+
+class TestLifecycle:
+    def test_submit_before_start_rejected(self):
+        async def scenario():
+            store = JobStore(runner=fake_stats)
+            with pytest.raises(RuntimeError, match="not running"):
+                await store.submit([make_spec()])
+
+        run(scenario())
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(ValueError, match="process.*inline"):
+            JobStore(executor="threads")
+
+    def test_job_completes_with_counters(self):
+        async def scenario():
+            runner = CountingRunner()
+            store = await started_store(runner=runner)
+            try:
+                job = await store.submit(
+                    [make_spec(), make_spec(benchmark="swim")], tenant="a"
+                )
+                snapshot = await job.wait()
+            finally:
+                await store.close()
+            return snapshot, runner
+
+        snapshot, runner = run(scenario())
+        assert snapshot["state"] == "done"
+        assert snapshot["cells"] == 2
+        assert snapshot["simulated"] == 2
+        assert (snapshot["failed"], snapshot["deduped"]) == (0, 0)
+        assert len(runner.calls) == 2
+
+    def test_empty_grid_completes_immediately(self):
+        async def scenario():
+            store = await started_store(runner=fake_stats)
+            try:
+                job = await store.submit([], tenant="a")
+                assert job.is_done
+                return store.totals["jobs_done"]
+            finally:
+                await store.close()
+
+        assert run(scenario()) == 1
+
+
+class TestCacheIntegration:
+    def test_cache_hits_resolve_at_submit(self, tmp_path):
+        spec = make_spec()
+        ResultCache(str(tmp_path)).put(spec, fake_stats(spec))
+
+        async def scenario():
+            runner = CountingRunner()
+            store = await started_store(
+                runner=runner, use_cache=True, cache_dir=str(tmp_path)
+            )
+            try:
+                job = await store.submit([spec], tenant="a")
+                assert job.is_done  # resolved synchronously at submit
+                return job.snapshot(), runner
+            finally:
+                await store.close()
+
+        snapshot, runner = run(scenario())
+        assert snapshot["cached"] == 1
+        assert runner.calls == []
+        assert snapshot["cells_detail"][0]["origin"] == "cached"
+
+    def test_simulated_cells_are_persisted(self, tmp_path):
+        spec = make_spec()
+
+        async def scenario():
+            store = await started_store(
+                runner=fake_stats, use_cache=True, cache_dir=str(tmp_path)
+            )
+            try:
+                job = await store.submit([spec], tenant="a")
+                await job.wait()
+            finally:
+                await store.close()
+
+        run(scenario())
+        hit = ResultCache(str(tmp_path)).get(spec)
+        assert hit is not None
+        assert hit.to_dict() == fake_stats(spec).to_dict()
+
+
+class TestInFlightDedup:
+    def test_two_tenants_identical_grid_simulates_once(self):
+        """The satellite contract: one simulated cell, two delivered results."""
+        grid = [make_spec(), make_spec(benchmark="swim")]
+
+        async def scenario():
+            runner = CountingRunner(gated=True)
+            store = await started_store(runner=runner, workers=2)
+            try:
+                job_a = await store.submit(grid, tenant="tenant-a")
+                job_b = await store.submit(grid, tenant="tenant-b")
+                runner.release()
+                snap_a, snap_b = await asyncio.gather(
+                    job_a.wait(), job_b.wait()
+                )
+                totals = dict(store.totals)
+            finally:
+                await store.close()
+            return snap_a, snap_b, totals, runner
+
+        snap_a, snap_b, totals, runner = run(scenario())
+        # Exactly one execution per distinct spec...
+        assert len(runner.calls) == 2
+        assert totals["cells_simulated"] == 2
+        assert totals["cells_deduped"] == 2
+        # ...and both tenants got every result.
+        for snapshot in (snap_a, snap_b):
+            assert snapshot["state"] == "done"
+            assert snapshot["done"] == 2
+            assert snapshot["failed"] == 0
+        assert snap_a["simulated"] + snap_b["simulated"] == 2
+        assert snap_a["deduped"] + snap_b["deduped"] == 2
+
+    def test_duplicate_specs_within_one_job(self):
+        async def scenario():
+            runner = CountingRunner()
+            store = await started_store(runner=runner)
+            try:
+                job = await store.submit(
+                    [make_spec(), make_spec()], tenant="a"
+                )
+                snapshot = await job.wait()
+            finally:
+                await store.close()
+            return snapshot, runner
+
+        snapshot, runner = run(scenario())
+        assert len(runner.calls) == 1
+        assert snapshot["done"] == 2
+        assert snapshot["simulated"] == 1
+        assert snapshot["deduped"] == 1
+
+    def test_deduped_failure_reaches_all_subscribers(self):
+        async def scenario():
+            runner = CountingRunner(gated=True, fail_for="art")
+            store = await started_store(runner=runner)
+            try:
+                job_a = await store.submit([make_spec()], tenant="a")
+                job_b = await store.submit([make_spec()], tenant="b")
+                runner.release()
+                await asyncio.gather(job_a.wait(), job_b.wait())
+                return job_a.results_dict(), job_b.results_dict()
+            finally:
+                await store.close()
+
+        results_a, results_b = run(scenario())
+        for body in (results_a, results_b):
+            assert body["failed"] == 1
+            assert body["failures"][0]["error"]["kind"] == "error"
+            assert "boom" in body["failures"][0]["error"]["message"]
+
+
+class TestBackpressure:
+    def test_queue_full_raises_with_retry_after(self):
+        async def scenario():
+            runner = CountingRunner(gated=True)
+            store = await started_store(runner=runner, max_pending=1)
+            try:
+                await store.submit([make_spec()], tenant="a")
+                with pytest.raises(QueueFullError) as excinfo:
+                    await store.submit(
+                        [make_spec(benchmark="swim")], tenant="b"
+                    )
+                rejected = store.totals["submissions_rejected"]
+                # Dedup submissions are always admitted: no new capacity.
+                job = await store.submit([make_spec()], tenant="c")
+                runner.release()
+                await job.wait()
+                # Queue drained: the spec that was rejected now fits.
+                retry = await store.submit(
+                    [make_spec(benchmark="swim")], tenant="b"
+                )
+                await retry.wait()
+            finally:
+                await store.close()
+            return excinfo.value, rejected
+
+        error, rejected = run(scenario())
+        assert error.retry_after_s >= 1.0
+        assert error.limit == 1
+        assert rejected == 1
+
+    def test_rejected_submission_leaves_no_state(self):
+        async def scenario():
+            runner = CountingRunner(gated=True)
+            store = await started_store(runner=runner, max_pending=1)
+            try:
+                await store.submit([make_spec()], tenant="a")
+                jobs_before = store.totals["jobs_submitted"]
+                with pytest.raises(QueueFullError):
+                    await store.submit(
+                        [make_spec(benchmark="swim"),
+                         make_spec(benchmark="mgrid")],
+                        tenant="b",
+                    )
+                runner.release()
+                return (
+                    store.totals["jobs_submitted"] - jobs_before,
+                    store.pending_cells,
+                    len(runner.calls),
+                )
+            finally:
+                await store.close()
+
+        new_jobs, pending, started = run(scenario())
+        assert new_jobs == 0
+        assert pending == 1  # only tenant a's cell
+
+
+class TestFairQueuing:
+    def test_round_robin_across_tenants(self):
+        """A small tenant's cell runs before a big tenant's backlog."""
+
+        async def scenario():
+            runner = CountingRunner(gated=True)
+            store = await started_store(runner=runner, workers=1)
+            try:
+                big = await store.submit(
+                    [make_spec(), make_spec(benchmark="swim"),
+                     make_spec(benchmark="mgrid")],
+                    tenant="big",
+                )
+                small = await store.submit(
+                    [make_spec(benchmark="applu")], tenant="small"
+                )
+                runner.release()
+                await asyncio.gather(big.wait(), small.wait())
+            finally:
+                await store.close()
+            return runner.order
+
+        order = run(scenario())
+        # big's first cell starts immediately (the worker was idle); the
+        # rotation then grants small's cell before big's backlog.
+        assert order[0] == "art"
+        assert order.index("applu") < order.index("swim")
+        assert order.index("applu") < order.index("mgrid")
+
+
+class TestFailureKinds:
+    def test_structured_kind_propagates(self):
+        class Stalled(RuntimeError):
+            failure_kind = "deadlock"
+
+        def deadlocking(spec):
+            raise Stalled("no forward progress")
+
+        async def scenario():
+            store = await started_store(runner=deadlocking)
+            try:
+                job = await store.submit([make_spec()], tenant="a")
+                snapshot = await job.wait()
+                return snapshot, job.results_dict(), dict(store.totals)
+            finally:
+                await store.close()
+
+        snapshot, results, totals = run(scenario())
+        assert snapshot["failure_kinds"] == {"deadlock": 1}
+        assert results["failures"][0]["error"]["kind"] == "deadlock"
+        assert totals["failure_kinds"] == {"deadlock": 1}
+        assert totals["cells_failed"] == 1
+
+
+class TestEvents:
+    def test_stream_replays_then_follows(self):
+        async def scenario():
+            runner = CountingRunner(gated=True)
+            store = await started_store(runner=runner)
+            try:
+                job = await store.submit([make_spec()], tenant="a")
+
+                async def collect():
+                    return [event async for event in job.events()]
+
+                collector = asyncio.create_task(collect())
+                await asyncio.sleep(0.05)
+                runner.release()
+                await job.wait()
+                return await asyncio.wait_for(collector, timeout=10.0)
+            finally:
+                await store.close()
+
+        events = run(scenario())
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "job"
+        assert kinds[-1] == "done"
+        states = [
+            event["state"] for event in events if event["event"] == "cell"
+        ]
+        assert states == ["running", "done"]
+        done_cell = [
+            event for event in events
+            if event["event"] == "cell" and event["state"] == "done"
+        ][0]
+        assert done_cell["origin"] == "simulated"
+        assert "stats" in done_cell
+
+    def test_stream_after_completion_replays_everything(self):
+        async def scenario():
+            store = await started_store(runner=fake_stats)
+            try:
+                job = await store.submit([make_spec()], tenant="a")
+                await job.wait()
+                return [event async for event in job.events()]
+            finally:
+                await store.close()
+
+        events = run(scenario())
+        assert events[0]["event"] == "job"
+        assert events[-1]["event"] == "done"
