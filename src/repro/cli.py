@@ -51,6 +51,7 @@ from repro.faults.spec import (
     FaultSpec,
     parse_fault_arg,
 )
+from repro.noc.fabric import AUTO_FABRIC, resolve_fabric
 from repro.sim.trace import TraceSpec, write_trace
 
 _PLACEMENTS = {policy.value: policy for policy in PlacementPolicy}
@@ -134,10 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
              "unless --mode is given explicitly)",
     )
     run.add_argument(
-        "--fabric", choices=("optimized", "reference", "vector"),
+        "--fabric", choices=("optimized", "reference", "vector", "auto"),
         default="optimized",
         help="NoC fabric for cycle mode: optimized (object hot path), "
-             "reference (naive oracle), vector (numpy batch fabric)",
+             "reference (naive oracle), vector (numpy batch fabric), "
+             "auto (vector when numpy is importable and the run is "
+             "cycle-mode, else optimized)",
     )
     run.add_argument(
         "--trace", default=None, metavar="FILE",
@@ -213,7 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing fidelity for every cell (default: model)",
     )
     sweep.add_argument(
-        "--fabric", choices=("optimized", "reference", "vector"),
+        "--fabric", choices=("optimized", "reference", "vector", "auto"),
         default="optimized",
         help="NoC fabric for cycle-mode cells (default: optimized)",
     )
@@ -324,6 +327,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             onset=args.fault_onset,
             watchdog_window=args.watchdog_window,
         )
+    fabric_resolution = None
+    if args.fabric == AUTO_FABRIC:
+        resolved, reason = resolve_fabric(mode)
+        fabric_resolution = {
+            "requested": AUTO_FABRIC,
+            "resolved": resolved,
+            "reason": reason,
+        }
+        # Stderr so `--json` output on stdout stays parseable.
+        print(f"fabric: auto -> {resolved} ({reason})", file=sys.stderr)
     spec = SimSpec.make(
         args.scheme,
         args.benchmark,
@@ -347,9 +360,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     if args.json:
-        print(json.dumps(
-            {"spec": spec.to_dict(), "stats": stats.to_dict()}, indent=1
-        ))
+        payload = {"spec": spec.to_dict(), "stats": stats.to_dict()}
+        if fabric_resolution is not None:
+            payload["fabric_resolution"] = fabric_resolution
+        print(json.dumps(payload, indent=1))
         return 0
     print(f"scheme:            {args.scheme.value}")
     print(f"benchmark:         {args.benchmark}")

@@ -36,14 +36,17 @@ class CyclePricer:
         self.topology = system.topology
         chip = system.setup.chip
         width, height = chip.mesh_dims
+        network_config = NetworkConfig(
+            width=width,
+            height=height,
+            layers=chip.num_layers,
+            pillar_locations=tuple(system.topology.pillar_xys),
+            packet_flits=system.config.data_flits,
+        )
+        if system.config.noc_sparse_threshold is not None:
+            network_config.sparse_threshold = system.config.noc_sparse_threshold
         self.network = Network(
-            NetworkConfig(
-                width=width,
-                height=height,
-                layers=chip.num_layers,
-                pillar_locations=tuple(system.topology.pillar_xys),
-                packet_flits=system.config.data_flits,
-            ),
+            network_config,
             # One transaction leg in flight at a time leaves most of the
             # fabric quiescent, which is exactly where the activity-tracked
             # kernel's idle fast-forward pays off.

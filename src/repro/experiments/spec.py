@@ -34,6 +34,7 @@ from typing import Optional
 
 from repro.core.schemes import Scheme
 from repro.core.system import NetworkInMemory, RunStats, SystemConfig
+from repro.noc.fabric import AUTO_FABRIC, resolve_fabric
 from repro.faults.spec import FaultSpec
 from repro.sim.rng import derive_seed
 from repro.sim.trace import TraceSpec
@@ -65,8 +66,15 @@ class SimSpec:
     # NoC fabric for mode="cycle": "optimized" (allocation-free object
     # hot path), "reference" (frozen naive oracle), or "vector" (numpy
     # structure-of-arrays batch fabric; distribution-level equivalent,
-    # fastest at scale).  Ignored by mode="model".
+    # fastest at every load since its occupancy-adaptive advance).
+    # "auto" is accepted and resolved to a concrete name at construction
+    # (vector for cycle-mode with numpy, optimized otherwise), so spec
+    # hashes only ever cover concrete fabrics.  Ignored by mode="model".
     fabric: str = "optimized"
+    # FabricKind.VECTOR only: occupancy at or below which the fabric
+    # runs its scalar per-flit path.  None (default) keeps the
+    # NetworkConfig default and leaves pre-existing spec hashes intact.
+    sparse_threshold: Optional[int] = None
     # Per-cell tracing opt-in: a TraceSpec makes simulate() attach a
     # RingTracer to the system, so a single sweep cell can be traced
     # reproducibly.  None (default) keeps the NullTracer.
@@ -76,6 +84,10 @@ class SimSpec:
     # deterministically from the cell seed.  None (default) keeps the
     # run fault-unaware and every pre-existing spec hash unchanged.
     faults: Optional[FaultSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.fabric == AUTO_FABRIC:
+            object.__setattr__(self, "fabric", resolve_fabric(self.mode)[0])
 
     @classmethod
     def make(
@@ -116,6 +128,8 @@ class SimSpec:
             data["mode"] = self.mode
         if self.fabric != "optimized":
             data["fabric"] = self.fabric
+        if self.sparse_threshold is not None:
+            data["sparse_threshold"] = self.sparse_threshold
         if self.trace is not None:
             data["trace"] = self.trace.to_dict()
         if self.faults is not None:
@@ -141,6 +155,7 @@ class SimSpec:
             fixed_floorplan=data["fixed_floorplan"],
             mode=data.get("mode", "model"),
             fabric=data.get("fabric", "optimized"),
+            sparse_threshold=data.get("sparse_threshold"),
             trace=(
                 TraceSpec.from_dict(data["trace"])
                 if data.get("trace") is not None
@@ -215,6 +230,7 @@ def build_system_config(spec: SimSpec) -> SystemConfig:
         num_cpus=spec.num_cpus,
         mode=spec.mode,
         noc_fabric=spec.fabric,
+        noc_sparse_threshold=spec.sparse_threshold,
         faults=spec.faults,
         fault_seed=spec.seed,
     )

@@ -89,6 +89,15 @@ class LivenessWatchdog:
 
     def _progress(self) -> tuple:
         network = self.network
+        # Fast-forwarded cycles count as progress: the engine only skips
+        # a window after every registered component reported idle, and a
+        # component holding undelivered traffic (buffered flits, occupied
+        # transceivers, pending injections) never reports idle — so a
+        # genuinely deadlocked fabric pins this counter while a
+        # quiescent-but-watched one keeps it moving.  Without this term,
+        # in-flight accounting held above the fabric (a requester waiting
+        # out an idle gap) would read a fast-forwarded window as a stall.
+        skipped = network.engine.fast_forwarded_cycles
         vector = getattr(network, "_vector", None)
         if vector is not None:
             # The SoA fabric has no per-router objects; its aggregate
@@ -97,6 +106,7 @@ class LivenessWatchdog:
                 network.completed_packets,
                 vector.flits_forwarded,
                 vector.bus_transfers,
+                skipped,
             )
         forwarded = sum(
             router.forwarded_flits for router in network.routers.values()
@@ -104,7 +114,7 @@ class LivenessWatchdog:
         transfers = sum(
             pillar.transfers for pillar in network.pillars.values()
         )
-        return (network.completed_packets, forwarded, transfers)
+        return (network.completed_packets, forwarded, transfers, skipped)
 
     def stalled_components(self) -> list[str]:
         """Names of components currently holding undelivered traffic."""

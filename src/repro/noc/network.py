@@ -49,10 +49,19 @@ class NetworkConfig:
     link_latency: int = 2
     flit_bits: int = 128     # link width
     packet_flits: int = 4    # flits per cache-line packet (64 B line)
+    # FabricKind.VECTOR only: occupancy (occupied input VCs, or active
+    # NICs) at or below which the fabric's mesh/NIC phases run the
+    # scalar per-flit path instead of batched numpy arbitration.  The
+    # two paths produce identical results; the default is the measured
+    # crossover from BENCH_noc.json's sparse operating point.  0 forces
+    # the batched path everywhere.  Object fabrics ignore it.
+    sparse_threshold: int = 24
 
     def validate(self) -> None:
         if self.width < 1 or self.height < 1 or self.layers < 1:
             raise ValueError("network dimensions must be positive")
+        if self.sparse_threshold < 0:
+            raise ValueError("sparse_threshold must be non-negative")
         if self.layers > 1 and not self.pillar_locations:
             raise ValueError("multi-layer networks require pillars")
         for x, y in self.pillar_locations:

@@ -7,6 +7,14 @@ VC-allocation record, and link stage as flat numpy arrays indexed by a
 of bulk array operations per cycle (the batch-simulation approach of
 "Bufferless NOC Simulation of Large Multicore System on GPU Hardware").
 
+Per-cycle cost scales with *occupancy*, not mesh size: an incremental
+occupied-lane set (maintained on deposit, pruned lazily) feeds the mesh
+step only the live (router, port, vc) indices, and at or below
+``NetworkConfig.sparse_threshold`` occupied lanes the whole step drops
+to a scalar per-flit path with identical outcomes.  A fully quiescent
+fabric reports idle, so the engine's active-set machinery fast-forwards
+vector cycles exactly as it does for the object fabrics.
+
 Semantics match the object fabrics cycle-for-cycle on uncontended
 traffic (identical zero-load latencies, identical credit round-trip
 timing).  Under contention the arbitration *rotation* differs: the
@@ -42,6 +50,7 @@ except ImportError as exc:  # pragma: no cover - numpy is a core dependency
 
 from repro.sim.engine import ClockedComponent, Engine
 from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
 from repro.dtdma.arbiter import DynamicTDMAArbiter
 from repro.noc.routing import (
     OPPOSITE_PORT,
@@ -217,6 +226,26 @@ class VectorFabric(ClockedComponent):
         self._buf_seq = np.zeros(size * depth, np.int64)
         self._buf_head = np.zeros(size, np.int64)
         self._buf_cnt = np.zeros(size, np.int64)
+        # Incremental occupied set: every flat index with buf_cnt > 0 is
+        # in ``_occ`` (sorted) or staged in ``_occ_new``/``_occ_new_scalar``
+        # (appended on deposit, merged and pruned by _compact_occupied at
+        # the top of each mesh step).  ``_in_occ[i]`` means "i is already
+        # somewhere in the set", so deposits append each index at most
+        # once.  This keeps the per-cycle mesh cost proportional to the
+        # live traffic instead of the mesh size (see DESIGN.md
+        # "Occupancy-adaptive vector advance").
+        self._occ = np.empty(0, np.int64)
+        self._occ_new: list = []          # staged index arrays
+        self._occ_new_scalar: list = []   # staged scalar indexes
+        self._in_occ = np.zeros(size, bool)
+        # Dense mode: above ~1/8 mesh occupancy the incremental
+        # bookkeeping (membership gathers on every deposit, sorted-merge
+        # compaction) costs more than the full contiguous rescan it
+        # avoids.  While the flag is set deposits skip membership
+        # maintenance entirely and _compact_occupied rescans; membership
+        # is rebuilt once on the dense->sparse transition.
+        self._occ_dense = False
+        self._sparse_threshold = config.sparse_threshold
         # Switch/VC allocation held by the in-transit packet (the object
         # InputVC's route_port / out_vc), -1 when unallocated.  int64 so
         # the per-cycle gathers need no widening conversion.
@@ -290,6 +319,13 @@ class VectorFabric(ClockedComponent):
         self._inj_queues: list[deque] = [deque() for _ in range(num_routers)]
         self._queue_len = np.zeros(num_routers, np.int64)
         self._inj_pending = 0
+        # Active-NIC set, same lazy scheme as the occupied set: a router
+        # enters on inject and leaves (at compaction) once its queue is
+        # empty and no injection is mid-flight.
+        self._nic_act = np.empty(0, np.int64)
+        self._nic_act_new: list[int] = []
+        self._nic_in_act = np.zeros(num_routers, bool)
+        self._nic_dense = False
 
         # --- link stage: one batch per cycle in flight ------------------
         self._stage_depth = max(0, config.link_latency - 1)
@@ -336,6 +372,19 @@ class VectorFabric(ClockedComponent):
         self._injected = scope.counter("packets_injected")
         self._received = scope.counter("packets_received")
         self._latency_hist = scope.histogram("packet_latency")
+        # Per-mesh-cycle occupancy observability (drives the scalar/
+        # batched threshold choice): candidate lanes after compaction and
+        # lanes actually advanced.  Means are exact; bucket widths only
+        # bound the distribution resolution on big meshes.
+        vec_scope = stats.scope("noc.vector")
+        self._occ_hist = vec_scope.histogram(
+            "occupied_vcs", bucket_width=8.0
+        )
+        self._lanes_hist = vec_scope.histogram("active_lanes")
+        # Occupancy trace probe: NULL_TRACER by default (guard-on-bool,
+        # zero cost); attach_tracer installs a live one.
+        self._tracer: Tracer = NULL_TRACER
+        self._trace_track = 0
         self._scratch = np.full(num_routers * ports, _PRIO_MAX, np.int64)
         # Constant decompositions of the flat (router, port, vc) index,
         # gathered instead of recomputed on the hot path, plus one
@@ -380,6 +429,7 @@ class VectorFabric(ClockedComponent):
                             vc = lo
         self._vc_pick = pick.reshape(-1)
         self._vc_bits = 1 << np.arange(vcs, dtype=np.int64)
+        self._vc_iota = np.arange(vcs, dtype=np.int64)
         # key = keybase[flat] + cross * cross_term + bits[out_rp]
         self._keybase = self._in_vc_of << vcs
         self._cross_term = vcs << vcs
@@ -416,6 +466,17 @@ class VectorFabric(ClockedComponent):
                 self._dest_in_base[rp] = (
                     down * ports + int(self._opposite[port])
                 ) * vcs
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Install the aggregate occupancy trace probe.
+
+        ``Network`` refuses enabled tracers for the vector fabric (there
+        are no per-router probe points), so this is the one trace hook
+        the batched fabric offers: one ``vector_occupancy`` event per
+        mesh cycle, guarded on ``tracer.enabled`` like every probe site.
+        """
+        self._tracer = tracer
+        self._trace_track = tracer.track("noc.vector")
 
     # -- component protocol --------------------------------------------------
 
@@ -481,6 +542,9 @@ class VectorFabric(ClockedComponent):
         self._inj_queues[router].append(pkt_index)
         self._queue_len[router] += 1
         self._inj_pending += 1
+        if not self._nic_dense and not self._nic_in_act[router]:
+            self._nic_in_act[router] = True
+            self._nic_act_new.append(router)
         self.wake()
 
     def inject_batch(self, src, dest, size_flits: int) -> int:
@@ -525,6 +589,12 @@ class VectorFabric(ClockedComponent):
             pid += 1
         np.add.at(self._queue_len, src, 1)
         self._inj_pending += count
+        if not self._nic_dense:
+            fresh = np.unique(src)
+            fresh = fresh[~self._nic_in_act[fresh]]
+            if fresh.size:
+                self._nic_in_act[fresh] = True
+                self._nic_act_new.extend(fresh.tolist())
         self.wake()
         return count
 
@@ -565,9 +635,70 @@ class VectorFabric(ClockedComponent):
                 pillar.rx_credits[layer][vc] += 1
             self._stage_rx.clear()
 
+    def _compact_occupied(self):
+        """Fold staged deposits into the sorted occupied set, drop drained.
+
+        Returns exactly ``np.flatnonzero(self._buf_cnt)``: the staged
+        appends cover every deposit since the last call, and an index
+        leaves the set only here, once its buffer count is zero.  Keeping
+        the set sorted makes the candidate order — and therefore
+        arbitration, staging, and ejection order — identical to the full
+        scan it replaces.
+        """
+        if self._occ_dense:
+            occ = np.flatnonzero(self._buf_cnt)
+            if occ.size * 8 < self._in_occ.size:
+                # Leaving dense mode: deposits skipped membership while
+                # it was set, so rebuild it before incremental staging
+                # resumes.
+                self._in_occ[:] = False
+                self._in_occ[occ] = True
+                self._occ_dense = False
+            self._occ = occ
+            return occ
+        occ = self._occ
+        new, new_scalar = self._occ_new, self._occ_new_scalar
+        staged = len(new_scalar)
+        for arr in new:
+            staged += len(arr)
+        # Above ~1/8 mesh occupancy a full contiguous rescan beats the
+        # fancy-index merge (sort + insert reallocates O(occupied) every
+        # cycle); the incremental path is for the sparse regime it
+        # exists to serve.  Entering dense mode also turns off the
+        # per-deposit membership bookkeeping until occupancy falls back.
+        if (occ.size + staged) * 8 >= self._in_occ.size:
+            new.clear()
+            new_scalar.clear()
+            occ = np.flatnonzero(self._buf_cnt)
+            self._occ_dense = True
+            self._occ = occ
+            return occ
+        if staged:
+            if new_scalar:
+                new.append(np.array(new_scalar, np.int64))
+                new_scalar.clear()
+            add = new[0] if len(new) == 1 else np.concatenate(new)
+            new.clear()
+            add.sort()
+            occ = np.insert(occ, np.searchsorted(occ, add), add)
+        if occ.size:
+            live = self._buf_cnt[occ] > 0
+            if not live.all():
+                self._in_occ[occ[~live]] = False
+                occ = occ[live]
+        self._occ = occ
+        return occ
+
+    def occupied_lanes(self):
+        """The exact occupied (router, port, vc) index set, sorted."""
+        return self._compact_occupied()
+
     def _mesh_step(self, cycle: int):
         ports, vcs, depth = self._P, self._V, self._D
-        cand = np.flatnonzero(self._buf_cnt)
+        cand = self._compact_occupied()
+        self._occ_hist.add(cand.size)
+        if cand.size <= self._sparse_threshold:
+            return self._mesh_step_sparse(cycle, cand)
         route = self._in_route[cand]
 
         # Route computation for fresh heads (the object router memoizes
@@ -604,9 +735,23 @@ class VectorFabric(ClockedComponent):
         out_vc = self._in_outvc[cand]
         has_vc = out_vc >= 0
         out_rp = self._in_outrp[cand]
-        free = (~self._out_busy) & (self._out_credits > 0)
-        bits = free.view(np.uint8).reshape(-1, vcs) @ self._vc_bits
-        pick = self._vc_pick[self._in_key[cand] + bits[out_rp]]
+        # Free-VC bitmasks: gather per candidate output port when sparse
+        # (occupancy-proportional), build the full-mesh mask with cheap
+        # contiguous ops when the mesh is loaded — the (cand, vcs) fancy
+        # gather overtakes the flat build past ~1/8 occupancy (the same
+        # crossover as dense mode, measured on 4k-lane meshes).
+        if cand.size * 8 >= self._in_occ.size:
+            free = (~self._out_busy) & (self._out_credits > 0)
+            bits = (free.view(np.uint8).reshape(-1, vcs) @ self._vc_bits)[
+                out_rp
+            ]
+        else:
+            vc_cols = out_rp[:, None] * vcs + self._vc_iota
+            free = (~self._out_busy[vc_cols]) & (
+                self._out_credits[vc_cols] > 0
+            )
+            bits = free.view(np.uint8) @ self._vc_bits
+        pick = self._vc_pick[self._in_key[cand] + bits]
         # out_vc is -1 on fresh heads; the wrapped gather lands on a live
         # counter whose value is discarded by the ``where`` mask.
         eligible = np.where(
@@ -616,6 +761,11 @@ class VectorFabric(ClockedComponent):
         )
         sel = np.flatnonzero(eligible)
         if sel.size == 0:
+            self._lanes_hist.add(0)
+            if self._tracer.enabled:
+                self._tracer.vector_occupancy(
+                    cycle, self._trace_track, cand.size, 0
+                )
             return None
 
         # Arbitration carries flat buffer indices only; per-flit state is
@@ -643,6 +793,11 @@ class VectorFabric(ClockedComponent):
         win = flat[keep]
         pick = pick[keep]
         count = win.size
+        self._lanes_hist.add(count)
+        if self._tracer.enabled:
+            self._tracer.vector_occupancy(
+                cycle, self._trace_track, cand.size, count
+            )
 
         # Winners only from here on: gather the actual flits.  The table
         # pick carried through arbitration is each fresh head's allocated
@@ -710,10 +865,186 @@ class VectorFabric(ClockedComponent):
             self._finish_batch(done, cycle)
         return batch
 
+    def _mesh_step_sparse(self, cycle: int, cand):
+        """Per-flit mesh step for occupancies at or below the threshold.
+
+        Scalar Python over the handful of occupied lanes beats the fixed
+        overhead of the batched array pipeline.  Outcomes are identical
+        to the batched path: arbitration priorities are unique within
+        every output-port and input-port group (distinct (port, vc) of
+        one router), so the dict-min selections below reproduce the
+        ``np.minimum.at`` winners exactly, and winners commit in
+        ascending flat order — the batched commit order.
+        """
+        ports, vcs, depth = self._P, self._V, self._D
+        in_route = self._in_route
+        out_credits = self._out_credits
+        offset = (cycle + 1) % ports
+        by_out: dict = {}
+        for flat in cand.tolist():
+            route = int(in_route[flat])
+            if route < 0:
+                head = int(self._buf_head[flat])
+                pkt = int(self._buf_pkt[flat * depth + head])
+                same = int(self._layer_of[flat]) == int(self._pkt_dest_z[pkt])
+                target = (
+                    int(self._pkt_dest_xy[pkt])
+                    if same
+                    else int(self._pkt_pillar_xy[pkt])
+                )
+                route = int(self._route2d[self._xy_of[flat], target])
+                if not same and route == _LOCAL:
+                    route = _VERTICAL
+                in_route[flat] = route
+                self._in_cross[flat] = not same
+                self._in_outrp[flat] = int(self._rp_base[flat]) + route
+                self._in_key[flat] = int(self._keybase[flat]) + (
+                    0 if same else self._cross_term
+                )
+            out_rp = int(self._in_outrp[flat])
+            out_vc = int(self._in_outvc[flat])
+            if out_vc >= 0:
+                if int(out_credits[out_rp * vcs + out_vc]) <= 0:
+                    continue
+            else:
+                mask = 0
+                base = out_rp * vcs
+                for vc in range(vcs):
+                    if (
+                        not self._out_busy[base + vc]
+                        and out_credits[base + vc] > 0
+                    ):
+                        mask |= 1 << vc
+                out_vc = int(self._vc_pick[int(self._in_key[flat]) + mask])
+                if out_vc < 0:
+                    continue
+            in_port = (flat // vcs) % ports
+            prio = ((in_port + offset) % ports) * vcs + flat % vcs
+            best = by_out.get(out_rp)
+            if best is None or prio < best[0]:
+                by_out[out_rp] = (prio, flat, out_vc)
+        if not by_out:
+            self._lanes_hist.add(0)
+            if self._tracer.enabled:
+                self._tracer.vector_occupancy(
+                    cycle, self._trace_track, cand.size, 0
+                )
+            return None
+        by_in: dict = {}
+        for prio, flat, out_vc in by_out.values():
+            in_rp = flat // vcs
+            best = by_in.get(in_rp)
+            if best is None or prio < best[0]:
+                by_in[in_rp] = (prio, flat, out_vc)
+        winners = sorted(
+            (flat, out_vc) for __, flat, out_vc in by_in.values()
+        )
+        self._lanes_hist.add(len(winners))
+        if self._tracer.enabled:
+            self._tracer.vector_occupancy(
+                cycle, self._trace_track, cand.size, len(winners)
+            )
+        batch_in: list[int] = []
+        batch_pkt: list[int] = []
+        batch_seq: list[int] = []
+        for flat, out_vc in winners:
+            head = int(self._buf_head[flat])
+            slot = flat * depth + head
+            pkt = int(self._buf_pkt[slot])
+            seq = int(self._buf_seq[slot])
+            route = int(in_route[flat])
+            out_rp = int(self._in_outrp[flat])
+            self._buf_head[flat] = (head + 1) % depth
+            self._buf_cnt[flat] -= 1
+            self._total_buffered -= 1
+            self.flits_forwarded += 1
+            is_tail = seq == int(self._pkt_last[pkt])
+            is_head = seq == 0
+            out_fv = out_rp * vcs + out_vc
+            out_credits[out_fv] -= 1
+            if is_head or is_tail:
+                self._out_busy[out_fv] = is_head and not is_tail
+            self._in_outvc[flat] = -1 if is_tail else out_vc
+            if is_tail:
+                in_route[flat] = -1
+            kind = int(self._ret_kind[flat])
+            if kind == 0:
+                self._stage_out_scalar.append(int(self._ret_idx[flat]))
+            elif kind == 1:
+                self._stage_nic.append(int(self._ret_idx[flat]))
+            else:
+                pillar, layer = self._pillar_at[flat // self._PV]
+                self._stage_rx.append((pillar, layer, flat % vcs))
+            if route == _LOCAL:
+                if is_tail:
+                    self._finish(pkt, cycle)
+            elif route == _VERTICAL:
+                pillar, layer = self._pillar_at[flat // self._PV]
+                pillar.tx_push(layer, out_vc, pkt, seq)
+            else:
+                flat_in = int(self._dest_in_base[out_rp]) + out_vc
+                if self._stage_depth == 0:
+                    self._deposit_one(flat_in, pkt, seq)
+                else:
+                    batch_in.append(flat_in)
+                    batch_pkt.append(pkt)
+                    batch_seq.append(seq)
+        if batch_in:
+            return (
+                np.array(batch_in, np.int64),
+                np.array(batch_pkt, np.int64),
+                np.array(batch_seq, np.int64),
+            )
+        return None
+
     def _nic_step(self, cycle: int) -> None:
+        # Compact the active-NIC set (same lazy scheme as the occupied
+        # set): fold in routers that received injections, drop routers
+        # with nothing queued and nothing mid-flight.
+        if self._nic_dense:
+            act = np.flatnonzero(
+                (self._queue_len > 0) | (self._inj_pkt >= 0)
+            )
+            if act.size * 8 < self._nic_in_act.size:
+                self._nic_in_act[:] = False
+                self._nic_in_act[act] = True
+                self._nic_dense = False
+            self._nic_act = act
+        elif (
+            (self._nic_act.size + len(self._nic_act_new)) * 8
+            >= self._nic_in_act.size
+        ):
+            # Loaded regime: a full rescan is two contiguous masks, and
+            # dense mode turns off per-injection membership bookkeeping
+            # until the active set shrinks back.
+            self._nic_act_new.clear()
+            act = np.flatnonzero(
+                (self._queue_len > 0) | (self._inj_pkt >= 0)
+            )
+            self._nic_dense = True
+            self._nic_act = act
+        else:
+            act = self._nic_act
+            new = self._nic_act_new
+            if new:
+                add = np.array(new, np.int64)
+                new.clear()
+                add.sort()
+                act = np.insert(act, np.searchsorted(act, add), add)
+            if act.size:
+                live = (self._queue_len[act] > 0) | (self._inj_pkt[act] >= 0)
+                if not live.all():
+                    self._nic_in_act[act[~live]] = False
+                    act = act[live]
+            self._nic_act = act
+        if act.size == 0:
+            return
+        if act.size <= self._sparse_threshold:
+            self._nic_step_sparse(cycle, act)
+            return
         # Phase A: idle NICs with queued packets try to acquire an output
         # VC (first free in ascending order, the object free_vc()).
-        acquire = np.flatnonzero((self._inj_pkt < 0) & (self._queue_len > 0))
+        acquire = act[(self._inj_pkt[act] < 0) & (self._queue_len[act] > 0)]
         if acquire.size:
             free = (~self._nic_busy[acquire]) & (
                 self._nic_credits_2d[acquire] > 0
@@ -739,7 +1070,7 @@ class VectorFabric(ClockedComponent):
                 self._injected.increment(starts.size)
         # Phase B: every mid-injection NIC sends one flit if it has a
         # credit on its acquired VC.
-        active = np.flatnonzero(self._inj_pkt >= 0)
+        active = act[self._inj_pkt[act] >= 0]
         if active.size == 0:
             return
         vc = self._inj_vc[active]
@@ -766,6 +1097,54 @@ class VectorFabric(ClockedComponent):
             self._inj_pkt[sender[done]] = -1
             self._inj_pending -= done.size
 
+    def _nic_step_sparse(self, cycle: int, act) -> None:
+        """Scalar NIC phases for a handful of active routers.
+
+        Per-router state is independent, so fusing phase A (VC
+        acquisition) and phase B (send one flit) into one pass per router
+        is exactly the batched two-phase result — the batched phase B
+        already sees phase A's acquisitions in the same cycle.
+        """
+        vcs = self._V
+        credits = self._nic_credits
+        busy = self._nic_busy_flat
+        for router in act.tolist():
+            if self._inj_pkt[router] < 0:
+                if self._queue_len[router] <= 0:
+                    continue
+                row = router * vcs
+                for vc in range(vcs):
+                    if not busy[row + vc] and credits[row + vc] > 0:
+                        pkt_index = self._inj_queues[router].popleft()
+                        self._queue_len[router] -= 1
+                        self._inj_pkt[router] = pkt_index
+                        self._inj_seq[router] = 0
+                        self._inj_vc[router] = vc
+                        self._injected.increment()
+                        if self._pkt_obj:
+                            packet = self._pkt_obj.get(pkt_index)
+                            if packet is not None:
+                                packet.injected_cycle = cycle
+                        break
+                else:
+                    continue
+            pkt = int(self._inj_pkt[router])
+            vc = int(self._inj_vc[router])
+            nidx = router * vcs + vc
+            if credits[nidx] <= 0:
+                continue
+            seq = int(self._inj_seq[router])
+            self._deposit_one(router * self._PV + _LOCAL * vcs + vc, pkt, seq)
+            credits[nidx] -= 1
+            is_head = seq == 0
+            is_tail = seq == int(self._pkt_last[pkt])
+            if is_head or is_tail:
+                busy[nidx] = is_head and not is_tail
+            self._inj_seq[router] = seq + 1
+            if is_tail:
+                self._inj_pkt[router] = -1
+                self._inj_pending -= 1
+
     # -- buffer deposits ------------------------------------------------------
 
     def _deposit(self, flat_in, pkts, seqs) -> None:
@@ -775,6 +1154,12 @@ class VectorFabric(ClockedComponent):
         self._buf_seq[slot] = seqs
         self._buf_cnt[flat_in] = occupied + 1
         self._total_buffered += len(pkts)
+        if self._occ_dense:
+            return
+        fresh = flat_in[~self._in_occ[flat_in]]
+        if fresh.size:
+            self._in_occ[fresh] = True
+            self._occ_new.append(fresh)
 
     def _deposit_one(self, flat_in: int, pkt: int, seq: int) -> None:
         occupied = int(self._buf_cnt[flat_in])
@@ -785,6 +1170,11 @@ class VectorFabric(ClockedComponent):
         self._buf_seq[slot] = seq
         self._buf_cnt[flat_in] = occupied + 1
         self._total_buffered += 1
+        if self._occ_dense:
+            return
+        if not self._in_occ[flat_in]:
+            self._in_occ[flat_in] = True
+            self._occ_new_scalar.append(flat_in)
 
     def _finish(self, pkt_index: int, cycle: int) -> None:
         self._pkt_done[pkt_index] = True

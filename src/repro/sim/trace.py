@@ -53,6 +53,7 @@ SEARCH_PLAN = 7
 MIGRATION = 8
 COHERENCE = 9
 FAULT = 10
+VECTOR_OCCUPANCY = 11
 
 EVENT_NAMES = {
     PACKET_INJECT: "packet_inject",
@@ -66,6 +67,7 @@ EVENT_NAMES = {
     MIGRATION: "migration",
     COHERENCE: "coherence",
     FAULT: "fault",
+    VECTOR_OCCUPANCY: "vector_occupancy",
 }
 
 # Field names for the per-kind payload (event tuple positions 3..).
@@ -81,6 +83,7 @@ _FIELDS = {
     MIGRATION: ("line", "src_cluster", "dest_cluster"),
     COHERENCE: ("kind", "line", "targets"),
     FAULT: ("kind", "target", "phase"),
+    VECTOR_OCCUPANCY: ("occupied_vcs", "active_lanes"),
 }
 
 
@@ -132,6 +135,9 @@ class Tracer:
         pass
 
     def fault(self, ts, track, kind, target, phase):
+        pass
+
+    def vector_occupancy(self, ts, track, occupied_vcs, active_lanes):
         pass
 
 
@@ -270,6 +276,12 @@ class RingTracer(Tracer):
         if self._track_on[track]:
             self._append((ts, FAULT, track, kind, target, phase))
 
+    def vector_occupancy(self, ts, track, occupied_vcs, active_lanes):
+        if self._track_on[track]:
+            self._append(
+                (ts, VECTOR_OCCUPANCY, track, occupied_vcs, active_lanes)
+            )
+
 
 @dataclass(frozen=True)
 class TraceSpec:
@@ -354,6 +366,8 @@ def _chrome_slice(kind: int, payload: tuple) -> tuple[str, str, dict]:
         return f"coherence {payload[0]}", "coherence", args
     if kind == FAULT:
         return f"fault {payload[0]} {payload[1]} {payload[2]}", "fault", args
+    if kind == VECTOR_OCCUPANCY:
+        return f"occ {payload[0]} lanes {payload[1]}", "noc", args
     raise ValueError(f"unknown event kind {kind}")
 
 

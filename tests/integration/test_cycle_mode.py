@@ -71,3 +71,38 @@ def test_cycle_mode_runs_a_small_trace():
     stats = system.run_trace(traces)
     assert stats.l2_accesses == 16
     assert stats.avg_l2_miss_latency > system.config.memory_latency
+
+
+def test_cycle_mode_vector_identical_across_sparse_thresholds():
+    """End-to-end: the scalar/batched switch is invisible to RunStats.
+
+    Cycle mode prices transactions leg-at-a-time, so the vector fabric
+    spends the whole run at or near zero occupancy — the exact regime
+    the sparse path serves.  Pinning the threshold to the extremes must
+    leave every system-level statistic untouched.
+    """
+    pytest.importorskip("numpy")
+    traces = [
+        [(2, OP_READ, 0x1000 + cpu * 0x40), (2, OP_READ, 0x9000 + cpu * 0x40)]
+        for cpu in range(8)
+    ]
+    results = []
+    for threshold in (0, 10**9):
+        system = NetworkInMemory(
+            SystemConfig(
+                scheme=Scheme.CMP_DNUCA_3D,
+                mode="cycle",
+                noc_fabric="vector",
+                noc_sparse_threshold=threshold,
+            )
+        )
+        stats = system.run_trace([list(t) for t in traces])
+        results.append(
+            (
+                stats.l2_accesses,
+                stats.l2_hits,
+                stats.avg_l2_hit_latency,
+                stats.avg_l2_miss_latency,
+            )
+        )
+    assert results[0] == results[1]

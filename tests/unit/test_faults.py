@@ -349,6 +349,41 @@ class TestLivenessWatchdog:
         assert error.in_flight == 1
         assert watchdog.checks >= 1
 
+    def test_fast_forwarded_windows_count_as_progress(self):
+        """Idle fast-forward across a watched window is not a deadlock.
+
+        In-flight accounting held *above* the fabric — a cycle-mode
+        requester waiting out an idle gap between transaction legs —
+        leaves ``network.in_flight > 0`` while every component is
+        genuinely quiescent.  The engine fast-forwards such windows, and
+        the watchdog must read the skipped cycles as progress instead of
+        raising.  (A real deadlock never fast-forwards: a component
+        holding buffered flits does not report idle.)
+        """
+        network = _network()
+        vector = Network(
+            NetworkConfig(
+                width=4, height=4, layers=2,
+                pillar_locations=((1, 1), (2, 2)),
+            ),
+            fabric="vector",
+        )
+        for net in (network, vector):
+            watchdog = LivenessWatchdog(net, window=20)
+            net._in_flight = 1  # accounting held above a quiescent fabric
+            net.engine.run(500)
+            assert watchdog.checks >= 5
+            assert net.engine.fast_forwarded_cycles > 0
+
+    def test_watched_bursty_run_still_fast_forwards(self):
+        """The watchdog chunks — but never blocks — idle fast-forward."""
+        network = _network()
+        LivenessWatchdog(network, window=25)
+        network.send(Coord(0, 0, 0), Coord(3, 3, 1))
+        network.engine.run(300)
+        assert network.in_flight == 0
+        assert network.engine.fast_forwarded_cycles > 0
+
     def test_cancel_stops_checking(self):
         network = _network()
         watchdog = LivenessWatchdog(network, window=10)

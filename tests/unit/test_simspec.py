@@ -86,6 +86,42 @@ class TestHashing:
         )
         assert SimSpec.from_dict(spec.to_dict()) == spec
 
+    def test_sparse_threshold_default_leaves_hash_unchanged(self):
+        data = make_spec().to_dict()
+        assert "sparse_threshold" not in data
+        assert make_spec().spec_hash() == make_spec(
+            sparse_threshold=None
+        ).spec_hash()
+
+    def test_sparse_threshold_changes_hash_and_round_trips(self):
+        base = make_spec(mode="cycle", fabric="vector")
+        tuned = make_spec(mode="cycle", fabric="vector", sparse_threshold=8)
+        assert tuned.spec_hash() != base.spec_hash()
+        assert SimSpec.from_dict(tuned.to_dict()) == tuned
+        assert tuned.to_dict()["sparse_threshold"] == 8
+
+
+class TestAutoFabric:
+    def test_auto_resolves_to_vector_for_cycle_mode(self):
+        pytest.importorskip("numpy")
+        spec = make_spec(mode="cycle", fabric="auto")
+        assert spec.fabric == "vector"
+
+    def test_auto_resolves_to_optimized_for_model_mode(self):
+        spec = make_spec(fabric="auto")
+        assert spec.fabric == "optimized"
+
+    def test_auto_is_never_serialized(self):
+        # Hash stability: the sentinel resolves at construction, so two
+        # specs that resolve to the same concrete fabric are the *same*
+        # cell — "auto" never reaches to_dict() or the cache key.
+        pytest.importorskip("numpy")
+        auto = make_spec(mode="cycle", fabric="auto")
+        concrete = make_spec(mode="cycle", fabric="vector")
+        assert auto == concrete
+        assert auto.spec_hash() == concrete.spec_hash()
+        assert "auto" not in auto.to_dict().values()
+
 
 class TestSeeding:
     def test_cell_seed_pure_function_of_spec(self):
