@@ -67,14 +67,14 @@ async def _submit_and_wait(
                 if attempts > 50:
                     raise
                 await asyncio.sleep(busy.retry_after_s)
-        if snapshot["state"] != "done":
+        if snapshot.state != "done":
             snapshot = await client.wait(
-                snapshot["job_id"], poll_s=0.2, timeout_s=600.0
+                snapshot.job_id, poll_s=0.2, timeout_s=600.0
             )
     return {
         "latency_s": time.perf_counter() - start,
-        "failed": snapshot["failed"],
-        "done": snapshot["done"],
+        "failed": snapshot.failed,
+        "done": snapshot.done,
         "retries": attempts,
     }
 
@@ -132,9 +132,9 @@ async def _storm() -> dict:
             "max": latencies[-1],
         },
         "warm_resubmit": {
-            "state_at_submit": warm["state"],
+            "state_at_submit": warm.state,
             "latency_s": warm_latency,
-            "cached": warm["cached"],
+            "cached": warm.cached,
         },
         "totals": totals,
     }

@@ -1,17 +1,17 @@
 """``repro.api``: the one submission facade over every way to simulate.
 
-Four entry points grew organically as the repo scaled — ``simulate``
-(system + stats), ``run_spec`` (stats only), ``run_scheme`` (legacy
-kwargs shim), and ``run_sweep`` (parallel cached grids).  This module
-consolidates them behind three verbs that every surface — the CLI, the
-figure/table registry, and the ``repro serve`` HTTP server — calls
-through:
+Several entry points grew organically as the repo scaled — ``simulate``
+(system + stats), ``run_spec`` (stats only), and ``run_sweep``
+(parallel cached grids).  This module consolidates them behind three
+verbs that every surface — the CLI, the figure/table registry, and the
+``repro serve`` HTTP server — calls through:
 
 * :func:`run` — one cell, synchronously, optionally through the
   content-addressed result cache; returns a typed :class:`CellResult`.
 * :func:`sweep` — a grid of cells through the orchestrator (process
-  fan-out, cache, structured failures); returns a
-  :class:`~repro.experiments.orchestrator.SweepSummary`.
+  fan-out, cache, structured failures), or — with ``server=`` — through
+  a running ``repro serve`` head over HTTP; returns a
+  :class:`~repro.experiments.orchestrator.SweepSummary` either way.
 * :func:`submit` — asynchronous submission of a grid to a
   :class:`~repro.serve.scheduler.JobStore` (the multi-tenant sweep
   service core); returns a :class:`~repro.serve.scheduler.Job` handle
@@ -19,8 +19,8 @@ through:
 
 :func:`simulate` is re-exported for the few callers that need the live
 simulated system (energy reports, trace export); everything else should
-stay at this facade.  The historical ``run_scheme`` kwargs API survives
-as a :class:`DeprecationWarning` shim pointing here.
+stay at this facade.  (The historical ``run_scheme`` kwargs shim was
+retired in PR 9 — build a :class:`SimSpec` and call :func:`run`.)
 """
 
 from __future__ import annotations
@@ -118,6 +118,8 @@ def sweep(
     runner: Optional[Callable[[SimSpec], RunStats]] = None,
     progress: Optional[Callable[[str], None]] = None,
     trace_dir: Optional[str] = None,
+    server: Optional[str] = None,
+    tenant: str = "default",
 ) -> SweepSummary:
     """Run a grid of cells through the sweep orchestrator.
 
@@ -125,7 +127,20 @@ def sweep(
     :func:`repro.experiments.orchestrator.run_sweep` — same semantics
     (process fan-out, result cache, per-cell timeout/retry, structured
     :class:`~repro.experiments.orchestrator.CellFailure` records).
+
+    With ``server="http://host:port"`` the grid is instead submitted to
+    a running ``repro serve`` head under ``tenant`` and the service's
+    results are folded back into the same
+    :class:`~repro.experiments.orchestrator.SweepSummary` shape; the
+    orchestrator knobs (``jobs``, cache, timeout, retries) are then
+    server-side concerns and ignored here.  Service failures raise the
+    typed :class:`~repro.serve.client.ServeError` hierarchy.
     """
+    if server is not None:
+        from repro.serve.client import ServeClient
+
+        client = ServeClient.from_url(server, tenant=tenant)
+        return client.sweep(specs, progress=progress)
     return run_sweep(
         specs,
         jobs=jobs,

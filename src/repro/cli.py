@@ -5,7 +5,7 @@ Commands
 
 ``run``          simulate one scheme on one benchmark and print statistics
 ``sweep``        run an arbitrary simulation grid, parallel and cached
-``serve``        multi-tenant sweep service: submit grids over HTTP
+``serve``        multi-tenant sweep service: head node or remote worker
 ``thermal``      solve a placement's thermal profile
 ``experiments``  run one (or all) of the table/figure reproductions
 ``describe``     print a chip configuration's placed topology
@@ -13,7 +13,11 @@ Commands
 All simulation commands go through the :mod:`repro.api` facade
 (``run``/``sweep``/``submit``); ``sweep --server URL`` routes the same
 grid through a running ``repro serve`` instance instead of local worker
-processes.
+processes, and its exit code on service failures is the
+:class:`~repro.serve.client.ServeError` subclass's ``exit_code``
+(BSD ``sysexits``: 69 unreachable, 75 busy, 76 protocol skew, ...).
+``serve --role worker --head URL`` turns the process into a remote
+worker that leases cells from a head instead of listening itself.
 
 Examples::
 
@@ -22,6 +26,9 @@ Examples::
     python -m repro sweep --schemes CMP-DNUCA-2D CMP-DNUCA-3D \\
         --benchmarks art swim --jobs 4
     python -m repro serve --port 8731 --workers 4
+    python -m repro serve --port 8731 --workers 0   # head-only
+    python -m repro serve --role worker --head http://127.0.0.1:8731 \\
+        --workers 2
     python -m repro sweep --server http://127.0.0.1:8731 \\
         --schemes CMP-DNUCA-3D --benchmarks art swim
     python -m repro thermal --layers 2 --placement stacked
@@ -240,17 +247,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="serve sweep submissions over HTTP (multi-tenant, deduped)",
+        help="serve sweep submissions over HTTP (multi-tenant, deduped), "
+             "or attach to a head as a remote worker",
+    )
+    serve.add_argument(
+        "--role", choices=("head", "worker"), default="head",
+        help="head: listen for submissions and grant leases; "
+             "worker: pull cells from --head and push results back",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8731,
-                       help="listen port (0 picks a free port)")
-    serve.add_argument("--workers", type=int, default=2,
-                       help="concurrent cell executions (worker processes)")
+                       help="listen port (0 picks a free port; head only)")
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent cell executions on this node "
+             "(head: 0 = head-only, cells wait for remote workers)",
+    )
     serve.add_argument(
         "--max-pending", type=int, default=1024,
         help="distinct queued+running cells before submissions are "
-             "rejected with 429 + Retry-After",
+             "rejected with 429 + Retry-After (head only)",
     )
     serve.add_argument(
         "--inline", action="store_true",
@@ -258,7 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(debug/tests; per-cell timeout does not apply)",
     )
     serve.add_argument("--no-cache", action="store_true",
-                       help="disable the shared result cache")
+                       help="disable the local result cache")
     serve.add_argument(
         "--cache-dir", default=None,
         help="result cache root (default .repro_cache/ or REPRO_CACHE_DIR)",
@@ -267,6 +283,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-cell wall-clock timeout in seconds")
     serve.add_argument("--retries", type=int, default=1,
                        help="re-executions after a worker crash or timeout")
+    serve.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="head: remote lease TTL before the reaper requeues its "
+             "cells (default 15)",
+    )
+    serve.add_argument(
+        "--worker-retries", type=int, default=1,
+        help="head: times a cell is re-leased after its worker is lost "
+             "before it fails as worker_lost",
+    )
+    serve.add_argument(
+        "--head", default=None, metavar="URL",
+        help="worker: head node to lease cells from "
+             "(e.g. http://127.0.0.1:8731)",
+    )
+    serve.add_argument(
+        "--worker-id", default=None,
+        help="worker: stable name reported to the head "
+             "(default hostname-<random>)",
+    )
+    serve.add_argument(
+        "--lease-cells", type=int, default=4,
+        help="worker: cells requested per lease batch",
+    )
+    serve.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="worker: sleep between lease requests when the head is idle",
+    )
 
     thermal = sub.add_parser("thermal", help="thermal profile of a placement")
     thermal.add_argument("--layers", type=int, default=2)
@@ -418,10 +462,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         def progress(message: str) -> None:
             print(f"  {message}", file=sys.stderr)
     if args.server:
-        from repro.serve.client import ServeClient
+        from repro.serve.client import ServeError
 
-        client = ServeClient.from_url(args.server, tenant=args.tenant)
-        summary = client.sweep(specs, progress=progress)
+        try:
+            summary = api.sweep(
+                specs,
+                server=args.server,
+                tenant=args.tenant,
+                progress=progress,
+            )
+        except ServeError as exc:
+            print(f"repro sweep: {exc}", file=sys.stderr)
+            return exc.exit_code
     else:
         summary = api.sweep(
             specs,
@@ -472,11 +524,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.role == "worker":
+        return _cmd_serve_worker(args)
+
     import asyncio
 
-    from repro.serve.scheduler import JobStore
+    from repro.serve.scheduler import DEFAULT_LEASE_TTL_S, JobStore
     from repro.serve.server import serve_forever
 
+    if args.head:
+        print(
+            "repro serve: --head is only meaningful with --role worker",
+            file=sys.stderr,
+        )
+        return 64  # EX_USAGE
     store = JobStore(
         workers=args.workers,
         max_pending=args.max_pending,
@@ -485,14 +546,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         executor="inline" if args.inline else "process",
+        lease_ttl_s=(
+            args.lease_ttl if args.lease_ttl else DEFAULT_LEASE_TTL_S
+        ),
+        worker_retries=args.worker_retries,
     )
 
     def ready(port: int) -> None:
         print(
             f"repro serve listening on http://{args.host}:{port} "
-            f"({store.workers} worker(s), "
+            f"({store.workers} local worker(s), "
             f"max_pending={store.max_pending}, "
-            f"executor={store.executor_kind})",
+            f"executor={store.executor_kind}, "
+            f"lease_ttl={store.lease_ttl_s:.0f}s)",
             file=sys.stderr,
             flush=True,
         )
@@ -503,6 +569,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     except KeyboardInterrupt:
         print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_worker(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeError
+    from repro.serve.worker import run_worker
+
+    if not args.head:
+        print(
+            "repro serve: --role worker requires --head URL",
+            file=sys.stderr,
+        )
+        return 64  # EX_USAGE
+
+    def log(message: str) -> None:
+        print(f"repro worker: {message}", file=sys.stderr, flush=True)
+
+    try:
+        counters = run_worker(
+            args.head,
+            worker_id=args.worker_id,
+            jobs=max(1, args.workers),
+            lease_cells=args.lease_cells,
+            poll_s=args.poll,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            log=log,
+        )
+    except ServeError as exc:
+        log(str(exc))
+        return exc.exit_code
+    log(
+        f"stopped after {counters['leases']} lease(s): "
+        f"{counters['cells_done']} done, "
+        f"{counters['cells_failed']} failed, "
+        f"{counters['cells_simulated']} simulated, "
+        f"{counters['cells_local_cache'] + counters['cells_head_cache']} "
+        f"from cache"
+    )
     return 0
 
 

@@ -33,14 +33,16 @@ from repro.experiments.orchestrator import (
     SweepSummary,
     run_sweep,
 )
-from repro.experiments.registry import EXPERIMENT_NAMES, run_experiment
-from repro.experiments.runner import run_scheme, SCHEME_ORDER
+from repro.experiments.registry import (
+    EXPERIMENT_NAMES,
+    SCHEME_ORDER,
+    run_experiment,
+)
 from repro.experiments.spec import SimSpec, run_spec
 
 __all__ = [
     "ExperimentScale",
     "current_scale",
-    "run_scheme",
     "run_spec",
     "run_sweep",
     "run_experiment",

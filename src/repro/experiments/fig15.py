@@ -13,7 +13,8 @@ from repro.core.schemes import Scheme
 from repro.core.system import RunStats
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 from repro.experiments.config import ExperimentScale
-from repro.experiments.runner import format_table, SCHEME_ORDER
+from repro.experiments.registry import SCHEME_ORDER
+from repro.experiments.runner import format_table
 from repro.experiments.spec import SimSpec
 
 

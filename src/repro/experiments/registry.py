@@ -22,12 +22,21 @@ import importlib
 from typing import Callable, Optional
 
 from repro import api
+from repro.core.schemes import Scheme
 from repro.experiments.orchestrator import SweepSummary, results_by_spec
 
 #: Paper presentation order; also the CLI's ``experiments`` choices.
 EXPERIMENT_NAMES: tuple[str, ...] = (
     "table1", "table2", "table3", "table5",
     "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+)
+
+#: The paper's scheme presentation order (Fig 13/15 legends).
+SCHEME_ORDER: tuple[Scheme, ...] = (
+    Scheme.CMP_DNUCA,
+    Scheme.CMP_DNUCA_2D,
+    Scheme.CMP_SNUCA_3D,
+    Scheme.CMP_DNUCA_3D,
 )
 
 

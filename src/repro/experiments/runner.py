@@ -1,66 +1,13 @@
-"""Shared experiment helpers: the legacy runner shim and table formatting.
+"""Shared experiment helpers: plain-text table formatting.
 
-The simulation entry point moved to the :mod:`repro.api` facade
+The simulation entry point lives at the :mod:`repro.api` facade
 (``repro.api.run`` over a frozen :class:`~repro.experiments.spec.SimSpec`;
-grids of cells through ``repro.api.sweep``).  ``run_scheme`` below
-survives as a deprecated keyword-argument shim over the facade.
+grids of cells through ``repro.api.sweep``).  The paper's scheme
+presentation order lives with the rest of the experiment registry
+(:data:`repro.experiments.registry.SCHEME_ORDER`).
 """
 
 from __future__ import annotations
-
-import warnings
-from typing import Optional
-
-from repro.core.schemes import Scheme
-from repro.core.system import SystemConfig, RunStats
-from repro.experiments.config import ExperimentScale
-from repro.experiments.spec import SimSpec
-
-# The paper's presentation order (Fig 13/15 legends).
-SCHEME_ORDER: tuple[Scheme, ...] = (
-    Scheme.CMP_DNUCA,
-    Scheme.CMP_DNUCA_2D,
-    Scheme.CMP_SNUCA_3D,
-    Scheme.CMP_DNUCA_3D,
-)
-
-
-def run_scheme(
-    scheme: Scheme,
-    benchmark: str,
-    cache_mb: int = 16,
-    num_layers: int = 2,
-    num_pillars: int = 8,
-    scale: Optional[ExperimentScale] = None,
-    system_config: Optional[SystemConfig] = None,
-) -> RunStats:
-    """Simulate one scheme on one benchmark at the given scale.
-
-    .. deprecated::
-        Build a :class:`~repro.experiments.spec.SimSpec` and call
-        :func:`repro.api.run` instead — the facade returns typed
-        results, and its specs are hashable, serializable, and cacheable
-        by the orchestrator.  This shim remains for callers of the
-        original kwargs API.
-    """
-    warnings.warn(
-        "run_scheme() is deprecated; use "
-        "repro.api.run(SimSpec.make(...)) — the unified submission "
-        "facade (repro.api.run/sweep/submit)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro import api
-
-    spec = SimSpec.make(
-        scheme,
-        benchmark,
-        scale=scale,
-        cache_mb=cache_mb,
-        layers=num_layers,
-        pillars=num_pillars,
-    )
-    return api.run(spec, system_config=system_config).stats
 
 
 def format_table(

@@ -20,9 +20,8 @@ see identical reference traces.  Paired comparisons across schemes are
 what the paper's figures plot; sharing traces removes workload noise
 from those deltas.
 
-:func:`run_spec` is the one simulation entry point; the historical
-``run_scheme(...)`` kwargs API in :mod:`repro.experiments.runner` is a
-thin deprecated shim over it.
+:func:`run_spec` is the one simulation entry point; callers wanting
+caching or typed results should go through :func:`repro.api.run`.
 """
 
 from __future__ import annotations

@@ -1,22 +1,54 @@
-"""``repro.serve``: the multi-tenant sweep service.
+"""``repro.serve``: the multi-tenant, multi-node sweep service.
 
 Turns the CLI batch tool into an async simulation server:
 
 * :mod:`repro.serve.scheduler` — the :class:`~repro.serve.scheduler.JobStore`
   core: per-tenant fair queuing, in-flight dedup by ``spec_hash``,
-  bounded worker pool over the PR-2 process-per-cell fan-out, and
-  backpressure via :class:`~repro.serve.scheduler.QueueFullError`.
+  bounded worker pool over the PR-2 process-per-cell fan-out,
+  backpressure via :class:`~repro.serve.scheduler.QueueFullError`, and
+  the remote-lease table (grant / heartbeat / reap-and-requeue) behind
+  distributed workers.
+* :mod:`repro.serve.protocol` — stdlib HTTP framing plus the versioned
+  typed wire messages (``protocol_version``-stamped frozen dataclasses)
+  every peer shares; version skew fails loudly with a structured 400.
 * :mod:`repro.serve.server` — a stdlib-only asyncio HTTP/JSON front end
   (submit grids, stream NDJSON progress, fetch results and cached
-  artifacts) started by ``python -m repro serve``.
-* :mod:`repro.serve.client` — sync and async clients; ``repro sweep
-  --server URL`` routes an ordinary sweep through a running server.
+  artifacts, grant leases) started by ``python -m repro serve``.
+* :mod:`repro.serve.worker` — the remote worker pull loop
+  (``repro serve --role worker --head URL``): lease a batch, heartbeat,
+  execute via :func:`~repro.experiments.orchestrator.execute_cell`,
+  push results back for artifact replication.
+* :mod:`repro.serve.client` — sync and async clients raising one typed
+  :class:`~repro.serve.client.ServeError` hierarchy; ``repro sweep
+  --server URL`` routes an ordinary sweep through a running head.
 
 Everything rides on the content-addressed ``.repro_cache`` store, so a
-server and local sweeps sharing a cache directory also share results.
+head, its workers, and local sweeps sharing a cache directory also
+share results.
 """
 
-from repro.serve.scheduler import Job, JobStore, QueueFullError
+from repro.serve.client import AsyncServeClient, ServeClient, ServeError
+from repro.serve.protocol import PROTOCOL_VERSION
+from repro.serve.scheduler import (
+    Job,
+    JobStore,
+    Lease,
+    QueueFullError,
+    UnknownLeaseError,
+)
 from repro.serve.server import SweepServer
+from repro.serve.worker import WorkerNode
 
-__all__ = ["Job", "JobStore", "QueueFullError", "SweepServer"]
+__all__ = [
+    "AsyncServeClient",
+    "Job",
+    "JobStore",
+    "Lease",
+    "PROTOCOL_VERSION",
+    "QueueFullError",
+    "ServeClient",
+    "ServeError",
+    "SweepServer",
+    "UnknownLeaseError",
+    "WorkerNode",
+]

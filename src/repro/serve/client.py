@@ -1,18 +1,24 @@
 """Clients for the sweep service.
 
 * :class:`ServeClient` — synchronous, ``http.client``-based; what the
-  CLI's ``repro sweep --server URL`` uses.  :meth:`ServeClient.sweep`
-  submits a grid (retrying with backoff while the server sheds load),
-  waits on the NDJSON event stream, and folds the delivered results back
-  into an ordinary
-  :class:`~repro.experiments.orchestrator.SweepSummary`, so server-side
-  and local sweeps are interchangeable to callers.
+  CLI's ``repro sweep --server URL`` and the remote worker
+  (:mod:`repro.serve.worker`) use.  :meth:`ServeClient.sweep` submits a
+  grid (retrying with backoff while the server sheds load), waits on the
+  NDJSON event stream, and folds the delivered results back into an
+  ordinary :class:`~repro.experiments.orchestrator.SweepSummary`, so
+  server-side and local sweeps are interchangeable to callers.
 * :class:`AsyncServeClient` — raw-asyncio, one connection per request;
   used by the load harness to hold a thousand submissions in flight on
   one event loop.
 
-Both speak the plain JSON surface of :mod:`repro.serve.server`; neither
-imports anything beyond the stdlib.
+Both speak the versioned typed messages of :mod:`repro.serve.protocol`
+(:class:`SubmitRequest` out, :class:`JobSnapshot`/:class:`JobResults`
+back, the lease triple for workers) and raise one :class:`ServeError`
+hierarchy: every failure — transport, backpressure, protocol skew,
+unknown resources, server faults — is a subclass carrying the parsed
+:class:`~repro.serve.protocol.ErrorBody` and a BSD-``sysexits``-style
+``exit_code`` the CLI returns verbatim.  Neither client imports
+anything beyond the stdlib.
 """
 
 from __future__ import annotations
@@ -24,48 +30,122 @@ import time
 from typing import Iterator, Optional, Sequence
 from urllib.parse import urlsplit
 
-from repro.core.system import RunStats
 from repro.experiments.orchestrator import CellFailure, SweepSummary
 from repro.experiments.spec import SimSpec
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ErrorBody,
+    HeartbeatAck,
+    HeartbeatRequest,
+    JobResults,
+    JobSnapshot,
+    LeaseGrant,
+    LeaseRequest,
+    ResultAck,
+    ResultPush,
+    SubmitRequest,
+)
 
 
 class ServeError(RuntimeError):
-    """Non-2xx response from the server."""
+    """Base of every client-visible service failure.
 
-    def __init__(self, status: int, body: dict):
-        error = body.get("error", {}) if isinstance(body, dict) else {}
-        super().__init__(
-            f"HTTP {status}: {error.get('kind', 'error')}: "
-            f"{error.get('message', body)}"
-        )
+    ``error`` is the parsed structured body (synthesized for transport
+    failures), ``status`` the HTTP status (None when the request never
+    got a response), and ``exit_code`` what ``repro sweep --server``
+    exits with — BSD ``sysexits`` values, so scripts can tell a full
+    queue (75, retryable) from protocol skew (76, upgrade something).
+    """
+
+    exit_code = 70  # EX_SOFTWARE: unclassified server-side failure
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        error: Optional[ErrorBody] = None,
+    ):
+        super().__init__(message)
         self.status = status
-        self.body = body
+        self.error = error or ErrorBody(kind="error", message=message)
+
+    @property
+    def kind(self) -> str:
+        return self.error.kind
+
+
+class ServeConnectionError(ServeError):
+    """The head is unreachable (refused, reset, or timed out)."""
+
+    exit_code = 69  # EX_UNAVAILABLE
 
 
 class ServerBusy(ServeError):
     """429: the store's pending-cell queue is full; retry later."""
 
-    def __init__(self, status: int, body: dict, retry_after_s: float):
-        super().__init__(status, body)
+    exit_code = 75  # EX_TEMPFAIL
+
+    def __init__(self, message, *, status=None, error=None,
+                 retry_after_s: float = 1.0):
+        super().__init__(message, status=status, error=error)
         self.retry_after_s = retry_after_s
 
 
-def _raise_for_status(status: int, headers, body: dict) -> None:
+class ProtocolMismatch(ServeError):
+    """The head speaks a different protocol revision than this client."""
+
+    exit_code = 76  # EX_PROTOCOL
+
+
+class BadRequestError(ServeError):
+    """400: the server rejected the request body as malformed."""
+
+    exit_code = 65  # EX_DATAERR
+
+
+class UnknownResourceError(ServeError):
+    """404: no such job, lease, artifact, or route."""
+
+    exit_code = 66  # EX_NOINPUT
+
+
+class ServerInternalError(ServeError):
+    """5xx: the handler itself failed."""
+
+    exit_code = 70  # EX_SOFTWARE
+
+
+def raise_for_status(status: int, headers, body: dict) -> None:
+    """Map a non-2xx response onto the :class:`ServeError` hierarchy."""
     if 200 <= status < 300:
         return
-    if status == 429:
-        retry_after = body.get("error", {}).get("retry_after_s")
+    error = ErrorBody.from_dict(body if isinstance(body, dict) else {})
+    message = f"HTTP {status}: {error.kind}: {error.message}"
+    if error.kind == "queue_full" or status == 429:
+        retry_after = error.retry_after_s
         if retry_after is None:
             try:
-                retry_after = float(headers.get("Retry-After", 1.0))
+                retry_after = float((headers or {}).get("Retry-After", 1.0))
             except (TypeError, ValueError):
                 retry_after = 1.0
-        raise ServerBusy(status, body, float(retry_after))
-    raise ServeError(status, body)
+        raise ServerBusy(
+            message, status=status, error=error,
+            retry_after_s=float(retry_after),
+        )
+    if error.kind == "protocol_mismatch":
+        raise ProtocolMismatch(message, status=status, error=error)
+    if status == 404:
+        raise UnknownResourceError(message, status=status, error=error)
+    if status in (400, 405, 413):
+        raise BadRequestError(message, status=status, error=error)
+    if status >= 500:
+        raise ServerInternalError(message, status=status, error=error)
+    raise ServeError(message, status=status, error=error)
 
 
-def summary_from_results(results_body: dict) -> SweepSummary:
-    """Fold a job's results body into an ordinary sweep summary.
+def summary_from_results(results: JobResults) -> SweepSummary:
+    """Fold a job's typed results into an ordinary sweep summary.
 
     ``simulated`` counts cells this server actually ran for the job;
     dedup ride-alongs and submit-time cache hits both count as
@@ -73,22 +153,21 @@ def summary_from_results(results_body: dict) -> SweepSummary:
     what a warm local sweep would report.
     """
     summary = SweepSummary()
-    for item in results_body.get("results", ()):
-        spec = SimSpec.from_dict(item["spec"])
-        summary.results[spec] = RunStats.from_dict(item["stats"])
-        if item.get("origin") == "simulated":
+    for item in results.results:
+        summary.results[item.spec] = item.stats
+        if item.origin == "simulated":
             summary.simulated += 1
         else:
             summary.cached += 1
-    for item in results_body.get("failures", ()):
-        error = item.get("error", {})
+    for item in results.failures:
+        error = item.error
         summary.failures.append(CellFailure(
-            spec=SimSpec.from_dict(item["spec"]),
+            spec=item.spec,
             kind=error.get("kind", "error"),
             message=error.get("message", ""),
             attempts=error.get("attempts", 1),
         ))
-    summary.elapsed_s = results_body.get("elapsed_s", 0.0)
+    summary.elapsed_s = results.snapshot.elapsed_s
     return summary
 
 
@@ -133,9 +212,15 @@ class ServeClient:
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
                 headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (ConnectionError, TimeoutError, OSError) as exc:
+                raise ServeConnectionError(
+                    f"head {self.host}:{self.port} unreachable: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
             parsed = json.loads(raw) if raw else {}
             return response.status, dict(response.getheaders()), parsed
         finally:
@@ -145,7 +230,7 @@ class ServeClient:
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> dict:
         status, headers, body = self._request(method, path, payload)
-        _raise_for_status(status, headers, body)
+        raise_for_status(status, headers, body)
         return body
 
     # -- surface ---------------------------------------------------------------
@@ -153,25 +238,70 @@ class ServeClient:
     def health(self) -> dict:
         return self._json("GET", "/healthz")
 
+    def check_protocol(self) -> dict:
+        """Health check that also enforces protocol-version agreement."""
+        health = self.health()
+        got = health.get("protocol_version")
+        if got != PROTOCOL_VERSION:
+            raise ProtocolMismatch(
+                f"head {self.host}:{self.port} speaks protocol {got!r}, "
+                f"this client speaks {PROTOCOL_VERSION}",
+                error=ErrorBody(
+                    kind="protocol_mismatch",
+                    message="head/client protocol skew",
+                    expected_version=PROTOCOL_VERSION,
+                    got_version=got if isinstance(got, int) else None,
+                ),
+            )
+        return health
+
     def stats(self) -> dict:
         return self._json("GET", "/stats")
 
-    def submit(self, specs: Sequence[SimSpec]) -> dict:
-        """Submit a grid; returns the job snapshot (raises ServerBusy on 429)."""
-        return self._json("POST", "/jobs", {
-            "tenant": self.tenant,
-            "specs": [spec.to_dict() for spec in specs],
-        })
+    def submit(self, specs: Sequence[SimSpec]) -> JobSnapshot:
+        """Submit a grid; returns the snapshot (raises ServerBusy on 429)."""
+        request = SubmitRequest(specs=tuple(specs), tenant=self.tenant)
+        return JobSnapshot.from_dict(
+            self._json("POST", "/jobs", request.to_dict())
+        )
 
-    def job(self, job_id: str, detail: bool = True) -> dict:
+    def job(self, job_id: str, detail: bool = True) -> JobSnapshot:
         suffix = "" if detail else "?detail=0"
-        return self._json("GET", f"/jobs/{job_id}{suffix}")
+        return JobSnapshot.from_dict(
+            self._json("GET", f"/jobs/{job_id}{suffix}")
+        )
 
-    def results(self, job_id: str) -> dict:
-        return self._json("GET", f"/jobs/{job_id}/results")
+    def results(self, job_id: str) -> JobResults:
+        return JobResults.from_dict(
+            self._json("GET", f"/jobs/{job_id}/results")
+        )
 
     def artifact(self, spec_hash: str) -> dict:
         return self._json("GET", f"/cells/{spec_hash}")
+
+    # -- worker surface --------------------------------------------------------
+
+    def lease(self, worker_id: str, max_cells: int = 4) -> LeaseGrant:
+        """Ask the head for a batch of cells (empty grant when idle)."""
+        request = LeaseRequest(worker_id=worker_id, max_cells=max_cells)
+        return LeaseGrant.from_dict(
+            self._json("POST", "/leases", request.to_dict())
+        )
+
+    def heartbeat(self, lease_id: str, token: str) -> HeartbeatAck:
+        request = HeartbeatRequest(token=token)
+        return HeartbeatAck.from_dict(
+            self._json(
+                "POST", f"/leases/{lease_id}/heartbeat", request.to_dict()
+            )
+        )
+
+    def push_results(self, lease_id: str, push: ResultPush) -> ResultAck:
+        return ResultAck.from_dict(
+            self._json("POST", f"/leases/{lease_id}/results", push.to_dict())
+        )
+
+    # -- event streaming -------------------------------------------------------
 
     def iter_events(self, job_id: str) -> Iterator[dict]:
         """The job's NDJSON event stream, replayed then followed to the end."""
@@ -179,15 +309,21 @@ class ServeClient:
             self.host, self.port, timeout=self.timeout_s
         )
         try:
-            conn.request(
-                "GET",
-                f"/jobs/{job_id}/events",
-                headers={"X-Repro-Tenant": self.tenant},
-            )
-            response = conn.getresponse()
+            try:
+                conn.request(
+                    "GET",
+                    f"/jobs/{job_id}/events",
+                    headers={"X-Repro-Tenant": self.tenant},
+                )
+                response = conn.getresponse()
+            except (ConnectionError, TimeoutError, OSError) as exc:
+                raise ServeConnectionError(
+                    f"head {self.host}:{self.port} unreachable: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
             if response.status != 200:
                 raw = response.read()
-                _raise_for_status(
+                raise_for_status(
                     response.status,
                     dict(response.getheaders()),
                     json.loads(raw) if raw else {},
@@ -202,7 +338,7 @@ class ServeClient:
         finally:
             conn.close()
 
-    def wait(self, job_id: str) -> dict:
+    def wait(self, job_id: str) -> JobResults:
         """Follow the event stream until the job ends; returns results."""
         for event in self.iter_events(job_id):
             if event.get("event") == "done":
@@ -235,7 +371,7 @@ class ServeClient:
                         f"({attempt}/{max_retries})"
                     )
                 time.sleep(busy.retry_after_s)
-        job_id = snapshot["job_id"]
+        job_id = snapshot.job_id
         if progress is not None:
             for event in self.iter_events(job_id):
                 if event.get("event") == "cell" and event.get("state") in (
@@ -247,10 +383,10 @@ class ServeClient:
                     )
                 elif event.get("event") == "done":
                     break
-            results_body = self.results(job_id)
+            results = self.results(job_id)
         else:
-            results_body = self.wait(job_id)
-        return summary_from_results(results_body)
+            results = self.wait(job_id)
+        return summary_from_results(results)
 
 
 class AsyncServeClient:
@@ -269,7 +405,15 @@ class AsyncServeClient:
     async def _request(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> tuple[int, dict]:
-        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except (ConnectionError, OSError) as exc:
+            raise ServeConnectionError(
+                f"head {self.host}:{self.port} unreachable: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         try:
             body = b""
             if payload is not None:
@@ -300,7 +444,7 @@ class AsyncServeClient:
             headers = (
                 {"Retry-After": retry_after} if retry_after is not None else {}
             )
-            _raise_for_status(status, headers, parsed)
+            raise_for_status(status, headers, parsed)
             return status, parsed
         finally:
             writer.close()
@@ -309,21 +453,19 @@ class AsyncServeClient:
             except (ConnectionError, OSError):
                 pass
 
-    async def submit(self, specs: Sequence[SimSpec]) -> dict:
-        __, body = await self._request("POST", "/jobs", {
-            "tenant": self.tenant,
-            "specs": [spec.to_dict() for spec in specs],
-        })
-        return body
+    async def submit(self, specs: Sequence[SimSpec]) -> JobSnapshot:
+        request = SubmitRequest(specs=tuple(specs), tenant=self.tenant)
+        __, body = await self._request("POST", "/jobs", request.to_dict())
+        return JobSnapshot.from_dict(body)
 
-    async def job(self, job_id: str, detail: bool = False) -> dict:
+    async def job(self, job_id: str, detail: bool = False) -> JobSnapshot:
         suffix = "" if detail else "?detail=0"
         __, body = await self._request("GET", f"/jobs/{job_id}{suffix}")
-        return body
+        return JobSnapshot.from_dict(body)
 
-    async def results(self, job_id: str) -> dict:
+    async def results(self, job_id: str) -> JobResults:
         __, body = await self._request("GET", f"/jobs/{job_id}/results")
-        return body
+        return JobResults.from_dict(body)
 
     async def stats(self) -> dict:
         __, body = await self._request("GET", "/stats")
@@ -331,16 +473,16 @@ class AsyncServeClient:
 
     async def wait(
         self, job_id: str, poll_s: float = 0.05, timeout_s: float = 600.0
-    ) -> dict:
+    ) -> JobSnapshot:
         """Poll the job until done; returns the final (detail-free) snapshot."""
         deadline = time.monotonic() + timeout_s
         while True:
             snapshot = await self.job(job_id, detail=False)
-            if snapshot["state"] == "done":
+            if snapshot.state == "done":
                 return snapshot
             if time.monotonic() > deadline:
                 raise TimeoutError(
-                    f"job {job_id} still {snapshot['state']} "
+                    f"job {job_id} still {snapshot.state} "
                     f"after {timeout_s:.0f}s"
                 )
             await asyncio.sleep(poll_s)

@@ -1,27 +1,44 @@
-"""Minimal HTTP/1.1 framing over asyncio streams.
+"""The sweep service's wire protocol: HTTP framing + versioned messages.
 
-The sweep service deliberately avoids web-framework dependencies — the
-container ships only the scientific toolchain — so this module provides
-the two things the server needs from HTTP and nothing more:
+Two layers live here, shared by the server, the clients, and the remote
+worker so that none of them can drift apart:
 
-* :func:`read_request` — parse one request (request line, headers, a
-  Content-Length body) from a stream reader, and
-* :func:`render_response` / :func:`render_stream_head` — serialize
-  responses; normal replies carry ``Content-Length`` and close the
-  connection, NDJSON event streams send headers up front and write
-  lines until the job finishes (``Connection: close`` delimits the
-  body, so clients read to EOF).
+**HTTP framing.** The service deliberately avoids web-framework
+dependencies — the container ships only the scientific toolchain — so
+:func:`read_request` parses one request (request line, headers, a
+Content-Length body) from a stream reader and :func:`render_response` /
+:func:`render_stream_head` serialize responses; normal replies carry
+``Content-Length`` and close the connection, NDJSON event streams send
+headers up front and write lines until the job finishes.  One request
+per connection keeps the framing trivial and matches the clients' usage.
 
-One request per connection keeps the framing trivial and matches the
-client's usage (submissions and polls are single exchanges; streams are
-long-lived by design).
+**Versioned wire messages.** Every request/response body is a frozen
+dataclass carrying ``protocol_version`` (:data:`PROTOCOL_VERSION`):
+:class:`SubmitRequest`, :class:`JobSnapshot`, :class:`JobResults`,
+:class:`LeaseRequest`/:class:`LeaseGrant`, :class:`HeartbeatRequest`/
+:class:`HeartbeatAck`, :class:`ResultPush`/:class:`ResultAck`, and
+:class:`ErrorBody`.  ``from_dict`` on each of them calls
+:func:`check_version` first, so a head and a worker (or a client) built
+from different protocol revisions fail loudly with a structured
+``protocol_mismatch`` error instead of silently misreading fields.
+NDJSON *events* remain plain dicts — they are an append-only stream
+reached through a versioned snapshot, not a negotiated surface.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
+from typing import Mapping, Optional
 from urllib.parse import parse_qs, unquote
+
+from repro.core.system import RunStats
+from repro.experiments.spec import SimSpec
+
+#: Bump on any incompatible change to the message shapes below.  The
+#: server rejects mismatched submissions/leases with a structured 400,
+#: and workers refuse to start against a head of a different version.
+PROTOCOL_VERSION = 1
 
 #: Reject request bodies beyond this (a 100k-cell grid is ~40 MB).
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -29,6 +46,7 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 #: Reason phrases for the statuses the server actually emits.
 REASONS = {
     200: "OK",
+    201: "Created",
     202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
@@ -141,3 +159,516 @@ def render_stream_head(
     """Headers for a streamed body delimited by connection close."""
     lines = _head(status, content_type, extra_headers)
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+# ---------------------------------------------------------------------------
+# Versioned wire messages
+# ---------------------------------------------------------------------------
+
+
+class VersionMismatchError(ProtocolError):
+    """The peer speaks a different protocol revision (or none at all)."""
+
+    def __init__(self, got):
+        super().__init__(
+            400,
+            f"protocol version mismatch: expected {PROTOCOL_VERSION}, "
+            f"got {got!r}",
+        )
+        self.expected = PROTOCOL_VERSION
+        self.got = got
+
+
+def check_version(data: Mapping) -> None:
+    """Raise :class:`VersionMismatchError` unless ``data`` carries ours."""
+    got = data.get("protocol_version") if isinstance(data, Mapping) else None
+    if got != PROTOCOL_VERSION:
+        raise VersionMismatchError(got)
+
+
+def _versioned(payload: dict) -> dict:
+    payload["protocol_version"] = PROTOCOL_VERSION
+    return payload
+
+
+@dataclass(frozen=True)
+class ErrorBody:
+    """Structured error payload: ``{"error": {...}, "protocol_version"}``.
+
+    ``kind`` carries either a transport-level condition (``bad_request``,
+    ``queue_full``, ``protocol_mismatch``, ``unknown_job``,
+    ``unknown_lease``, ``unknown_artifact``, ``internal``) or — inside
+    job results — a PR-5 cell failure kind ("error" | "timeout" |
+    "crash" | "stall" | "deadlock" | "worker_lost").
+    """
+
+    kind: str
+    message: str
+    retry_after_s: Optional[float] = None
+    pending: Optional[int] = None
+    limit: Optional[int] = None
+    expected_version: Optional[int] = None
+    got_version: Optional[int] = None
+
+    _OPTIONAL = (
+        "retry_after_s", "pending", "limit",
+        "expected_version", "got_version",
+    )
+
+    def to_dict(self) -> dict:
+        error = {"kind": self.kind, "message": self.message}
+        for name in self._OPTIONAL:
+            value = getattr(self, name)
+            if value is not None:
+                error[name] = value
+        return _versioned({"error": error})
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ErrorBody":
+        # Error bodies are deliberately parsed *without* a version check:
+        # a mismatch report must be readable by the very peer it rejects.
+        error = data.get("error", {}) if isinstance(data, Mapping) else {}
+        if not isinstance(error, Mapping):
+            error = {}
+        return cls(
+            kind=str(error.get("kind", "error")),
+            message=str(error.get("message", data)),
+            **{name: error.get(name) for name in cls._OPTIONAL},
+        )
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """``POST /jobs`` body: one tenant's grid of spec cells."""
+
+    specs: tuple[SimSpec, ...]
+    tenant: Optional[str] = None  # None: fall back to header/default
+
+    def to_dict(self) -> dict:
+        payload = {"specs": [spec.to_dict() for spec in self.specs]}
+        if self.tenant is not None:
+            payload["tenant"] = self.tenant
+        return _versioned(payload)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SubmitRequest":
+        check_version(data)
+        raw_specs = data.get("specs")
+        if not isinstance(raw_specs, list):
+            raise TypeError("'specs' must be a list of spec objects")
+        tenant = data.get("tenant")
+        if tenant is not None and not isinstance(tenant, str):
+            raise TypeError("'tenant' must be a string")
+        return cls(
+            specs=tuple(SimSpec.from_dict(item) for item in raw_specs),
+            tenant=tenant,
+        )
+
+
+@dataclass(frozen=True)
+class JobSnapshot:
+    """One job's status: per-state counts, health, optional cell detail."""
+
+    job_id: str
+    tenant: str
+    state: str  # "running" | "done"
+    cells: int
+    queued: int
+    running: int
+    done: int
+    failed: int
+    cached: int
+    deduped: int
+    simulated: int
+    failure_kinds: dict
+    created_at: float
+    elapsed_s: float
+    cells_detail: Optional[tuple[dict, ...]] = None
+
+    _COUNTS = (
+        "cells", "queued", "running", "done", "failed",
+        "cached", "deduped", "simulated",
+    )
+
+    @classmethod
+    def from_job(cls, job, detail: bool = False) -> "JobSnapshot":
+        """Snapshot a live :class:`~repro.serve.scheduler.Job`."""
+        data = job.snapshot(detail=detail)
+        detail_rows = data.get("cells_detail")
+        return cls(
+            job_id=data["job_id"],
+            tenant=data["tenant"],
+            state=data["state"],
+            failure_kinds=dict(data["failure_kinds"]),
+            created_at=data["created_at"],
+            elapsed_s=data["elapsed_s"],
+            cells_detail=(
+                tuple(detail_rows) if detail_rows is not None else None
+            ),
+            **{name: data[name] for name in cls._COUNTS},
+        )
+
+    def to_dict(self) -> dict:
+        payload = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            **{name: getattr(self, name) for name in self._COUNTS},
+            "failure_kinds": dict(self.failure_kinds),
+            "created_at": self.created_at,
+            "elapsed_s": self.elapsed_s,
+        }
+        if self.cells_detail is not None:
+            payload["cells_detail"] = list(self.cells_detail)
+        return _versioned(payload)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "JobSnapshot":
+        check_version(data)
+        detail_rows = data.get("cells_detail")
+        return cls(
+            job_id=data["job_id"],
+            tenant=data["tenant"],
+            state=data["state"],
+            failure_kinds=dict(data.get("failure_kinds", {})),
+            created_at=data.get("created_at", 0.0),
+            elapsed_s=data.get("elapsed_s", 0.0),
+            cells_detail=(
+                tuple(detail_rows) if detail_rows is not None else None
+            ),
+            **{name: data[name] for name in cls._COUNTS},
+        )
+
+
+@dataclass(frozen=True)
+class CellResultWire:
+    """One delivered cell inside a :class:`JobResults` body."""
+
+    index: int
+    spec: SimSpec
+    spec_hash: str
+    origin: Optional[str]
+    stats: RunStats
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec_hash,
+            "origin": self.origin,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CellResultWire":
+        return cls(
+            index=data.get("index", 0),
+            spec=SimSpec.from_dict(data["spec"]),
+            spec_hash=data["spec_hash"],
+            origin=data.get("origin"),
+            stats=RunStats.from_dict(data["stats"]),
+        )
+
+
+@dataclass(frozen=True)
+class CellFailureWire:
+    """One failed cell inside a :class:`JobResults` body."""
+
+    index: int
+    spec: SimSpec
+    spec_hash: str
+    error: dict  # {"kind", "message", "attempts"} — PR-5 failure kinds
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec_hash,
+            "error": dict(self.error),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CellFailureWire":
+        return cls(
+            index=data.get("index", 0),
+            spec=SimSpec.from_dict(data["spec"]),
+            spec_hash=data["spec_hash"],
+            error=dict(data.get("error", {})),
+        )
+
+
+@dataclass(frozen=True)
+class JobResults:
+    """``GET /jobs/<id>/results`` body: snapshot + stats + failures."""
+
+    snapshot: JobSnapshot
+    results: tuple[CellResultWire, ...]
+    failures: tuple[CellFailureWire, ...]
+
+    @classmethod
+    def from_job(cls, job) -> "JobResults":
+        data = job.results_dict()
+        return cls(
+            snapshot=JobSnapshot.from_job(job, detail=False),
+            results=tuple(
+                CellResultWire.from_dict(item) for item in data["results"]
+            ),
+            failures=tuple(
+                CellFailureWire.from_dict(item) for item in data["failures"]
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        payload = self.snapshot.to_dict()
+        payload["results"] = [item.to_dict() for item in self.results]
+        payload["failures"] = [item.to_dict() for item in self.failures]
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "JobResults":
+        return cls(
+            snapshot=JobSnapshot.from_dict(data),
+            results=tuple(
+                CellResultWire.from_dict(item)
+                for item in data.get("results", ())
+            ),
+            failures=tuple(
+                CellFailureWire.from_dict(item)
+                for item in data.get("failures", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class LeaseRequest:
+    """``POST /leases`` body: a worker asking for a batch of cells."""
+
+    worker_id: str
+    max_cells: int = 4
+
+    def to_dict(self) -> dict:
+        return _versioned({
+            "worker_id": self.worker_id,
+            "max_cells": self.max_cells,
+        })
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LeaseRequest":
+        check_version(data)
+        worker_id = data.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise TypeError("'worker_id' must be a non-empty string")
+        max_cells = data.get("max_cells", 4)
+        if not isinstance(max_cells, int) or max_cells < 1:
+            raise TypeError("'max_cells' must be a positive integer")
+        return cls(worker_id=worker_id, max_cells=max_cells)
+
+
+@dataclass(frozen=True)
+class LeaseCell:
+    """One leased cell: the spec to execute plus its book-keeping."""
+
+    spec: SimSpec
+    spec_hash: str
+    tenant: str
+    attempt: int  # 1-based count of workers this cell has been leased to
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec_hash,
+            "tenant": self.tenant,
+            "attempt": self.attempt,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LeaseCell":
+        return cls(
+            spec=SimSpec.from_dict(data["spec"]),
+            spec_hash=data["spec_hash"],
+            tenant=data.get("tenant", "default"),
+            attempt=data.get("attempt", 1),
+        )
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """``POST /leases`` response: a batch of cells + lease token + TTL.
+
+    An empty grant (``lease_id == ""``, no cells) means no work was
+    queued; the worker should poll again after ``retry_after_s``.
+    """
+
+    lease_id: str
+    token: str
+    ttl_s: float
+    cells: tuple[LeaseCell, ...]
+    retry_after_s: float = 0.0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.cells
+
+    def to_dict(self) -> dict:
+        return _versioned({
+            "lease_id": self.lease_id,
+            "token": self.token,
+            "ttl_s": self.ttl_s,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "retry_after_s": self.retry_after_s,
+        })
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LeaseGrant":
+        check_version(data)
+        return cls(
+            lease_id=data.get("lease_id", ""),
+            token=data.get("token", ""),
+            ttl_s=data.get("ttl_s", 0.0),
+            cells=tuple(
+                LeaseCell.from_dict(item) for item in data.get("cells", ())
+            ),
+            retry_after_s=data.get("retry_after_s", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class HeartbeatRequest:
+    """``POST /leases/<id>/heartbeat`` body: extend the lease TTL."""
+
+    token: str
+
+    def to_dict(self) -> dict:
+        return _versioned({"token": self.token})
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "HeartbeatRequest":
+        check_version(data)
+        token = data.get("token")
+        if not isinstance(token, str) or not token:
+            raise TypeError("'token' must be a non-empty string")
+        return cls(token=token)
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    """Heartbeat response: the renewed deadline and remaining cells."""
+
+    lease_id: str
+    ttl_s: float
+    expires_in_s: float
+    cells_outstanding: int
+
+    def to_dict(self) -> dict:
+        return _versioned({
+            "lease_id": self.lease_id,
+            "ttl_s": self.ttl_s,
+            "expires_in_s": self.expires_in_s,
+            "cells_outstanding": self.cells_outstanding,
+        })
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "HeartbeatAck":
+        check_version(data)
+        return cls(
+            lease_id=data["lease_id"],
+            ttl_s=data.get("ttl_s", 0.0),
+            expires_in_s=data.get("expires_in_s", 0.0),
+            cells_outstanding=data.get("cells_outstanding", 0),
+        )
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed cell pushed back by a worker: stats or a failure."""
+
+    spec_hash: str
+    stats: Optional[RunStats] = None
+    error: Optional[dict] = None  # {"kind", "message", "attempts"}
+    simulated: bool = True  # False: served from a worker-side cache
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "spec_hash": self.spec_hash,
+            "simulated": self.simulated,
+        }
+        if self.stats is not None:
+            payload["stats"] = self.stats.to_dict()
+        if self.error is not None:
+            payload["error"] = dict(self.error)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CellOutcome":
+        stats = data.get("stats")
+        error = data.get("error")
+        if (stats is None) == (error is None):
+            raise TypeError(
+                "a cell outcome carries exactly one of 'stats' or 'error'"
+            )
+        return cls(
+            spec_hash=data["spec_hash"],
+            stats=RunStats.from_dict(stats) if stats is not None else None,
+            error=dict(error) if error is not None else None,
+            simulated=bool(data.get("simulated", True)),
+        )
+
+
+@dataclass(frozen=True)
+class ResultPush:
+    """``POST /leases/<id>/results`` body: completed cells of a lease."""
+
+    token: str
+    outcomes: tuple[CellOutcome, ...]
+    worker_id: str = ""
+
+    def to_dict(self) -> dict:
+        return _versioned({
+            "token": self.token,
+            "worker_id": self.worker_id,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        })
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ResultPush":
+        check_version(data)
+        outcomes = data.get("outcomes")
+        if not isinstance(outcomes, list):
+            raise TypeError("'outcomes' must be a list")
+        return cls(
+            token=data.get("token", ""),
+            outcomes=tuple(CellOutcome.from_dict(item) for item in outcomes),
+            worker_id=data.get("worker_id", ""),
+        )
+
+
+@dataclass(frozen=True)
+class ResultAck:
+    """Result-push response.
+
+    ``accepted`` cells resolved a pending execution; ``stale`` cells
+    were already resolved elsewhere (a reaped lease's worker pushing
+    late, or a duplicate push) and were discarded.  ``lease_open`` is
+    False once the head no longer tracks the lease — the worker should
+    stop executing that batch, its remaining cells have been requeued.
+    """
+
+    accepted: int
+    stale: int
+    lease_open: bool
+
+    def to_dict(self) -> dict:
+        return _versioned({
+            "accepted": self.accepted,
+            "stale": self.stale,
+            "lease_open": self.lease_open,
+        })
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ResultAck":
+        check_version(data)
+        return cls(
+            accepted=data.get("accepted", 0),
+            stale=data.get("stale", 0),
+            lease_open=bool(data.get("lease_open", False)),
+        )

@@ -19,8 +19,19 @@ async-submittable store:
   :class:`QueueFullError` once the number of *distinct* pending cells
   reaches ``max_pending``; the HTTP layer maps it to 429 + Retry-After.
 * **structured failure** — failures carry the PR-5 ``CellFailure`` kinds
-  ("error" | "timeout" | "crash" | "stall" | "deadlock") into per-cell
-  error bodies and per-job ``failure_kinds`` health counters.
+  ("error" | "timeout" | "crash" | "stall" | "deadlock" |
+  "worker_lost") into per-cell error bodies and per-job
+  ``failure_kinds`` health counters.
+* **remote leases** — distributed workers
+  (:mod:`repro.serve.worker`) pull batches of queued cells via
+  :meth:`JobStore.grant_lease`, extend them with
+  :meth:`JobStore.heartbeat`, and push results back through
+  :meth:`JobStore.push_results` (which also replicates each artifact
+  into the head's cache).  A reaper task requeues the cells of any
+  lease whose TTL lapses — exactly once per reap — and converts retry
+  exhaustion into structured ``worker_lost`` failures, so a
+  ``kill -9``-ed worker can never silently drop a cell.  ``workers=0``
+  runs the store head-only: cells wait for remote leases.
 
 Everything runs on one asyncio event loop; the only threads are the
 executor pool hosting the blocking per-cell worker processes
@@ -54,6 +65,10 @@ ORIGIN_SIMULATED = "simulated"  # this cell's job triggered the simulation
 ORIGIN_DEDUPED = "deduped"      # rode along on another in-flight cell
 
 
+#: Default lease TTL; a worker heartbeats at a fraction of this.
+DEFAULT_LEASE_TTL_S = 15.0
+
+
 class QueueFullError(RuntimeError):
     """Backpressure signal: the store's pending-cell limit is reached."""
 
@@ -67,6 +82,15 @@ class QueueFullError(RuntimeError):
         self.retry_after_s = retry_after_s
 
 
+class UnknownLeaseError(RuntimeError):
+    """Heartbeat/push for a lease the head no longer tracks (or a bad
+    token): it expired and was reaped, completed, or never existed."""
+
+    def __init__(self, lease_id: str):
+        super().__init__(f"no live lease {lease_id!r}")
+        self.lease_id = lease_id
+
+
 @dataclass
 class CellRecord:
     """One cell of one job, through its lifecycle."""
@@ -78,6 +102,7 @@ class CellRecord:
     origin: Optional[str] = None
     stats: Optional[RunStats] = None
     error: Optional[dict] = None  # {"kind", "message", "attempts"}
+    worker: Optional[str] = None  # remote worker currently leasing it
 
     def status_dict(self) -> dict:
         data = {
@@ -90,6 +115,8 @@ class CellRecord:
             data["origin"] = self.origin
         if self.error is not None:
             data["error"] = dict(self.error)
+        if self.worker is not None:
+            data["worker"] = self.worker
         return data
 
 
@@ -219,6 +246,21 @@ class _InFlight:
     spec_hash: str
     tenant: str  # tenant whose queue carries the execution
     subscribers: list[tuple[Job, int]] = field(default_factory=list)
+    #: 1-based count of remote workers this cell has been leased to;
+    #: drives the ``worker_lost`` retry budget when leases are reaped.
+    worker_attempts: int = 0
+
+
+@dataclass
+class Lease:
+    """A batch of cells granted to one remote worker, with a deadline."""
+
+    lease_id: str
+    token: str
+    worker_id: str
+    ttl_s: float
+    deadline: float  # time.monotonic()
+    entries: dict[str, _InFlight] = field(default_factory=dict)
 
 
 class JobStore:
@@ -235,27 +277,38 @@ class JobStore:
         retries: int = 1,
         executor: str = "process",
         runner: Optional[Callable[[SimSpec], RunStats]] = None,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        worker_retries: int = 1,
     ):
         if executor not in ("process", "inline"):
             raise ValueError(
                 f"executor must be 'process' or 'inline', got {executor!r}"
             )
-        self.workers = max(1, workers)
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if lease_ttl_s <= 0:
+            raise ValueError(f"lease_ttl_s must be > 0, got {lease_ttl_s}")
+        #: 0 = head-only: no local execution, cells wait for remote leases.
+        self.workers = workers
         self.max_pending = max_pending
         self.timeout_s = timeout_s
         self.retries = retries
         self.executor_kind = executor
         self.cache = ResultCache(cache_dir) if use_cache else None
         self._runner = runner
+        self.lease_ttl_s = lease_ttl_s
+        self.worker_retries = max(0, worker_retries)
         self._inflight: dict[str, _InFlight] = {}
         self._queues: dict[str, deque[_InFlight]] = {}
         self._tenant_order: deque[str] = deque()
         self._jobs: dict[str, Job] = {}
+        self._leases: dict[str, Lease] = {}
         self._work = asyncio.Event()
         self._tasks: list[asyncio.Task] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._running = False
         self._job_counter = 0
+        self._lease_counter = 0
         self.totals = {
             "jobs_submitted": 0,
             "jobs_done": 0,
@@ -265,6 +318,11 @@ class JobStore:
             "cells_cached": 0,
             "cells_deduped": 0,
             "cells_failed": 0,
+            "cells_remote": 0,
+            "cells_requeued": 0,
+            "leases_granted": 0,
+            "leases_reaped": 0,
+            "results_stale": 0,
             "failure_kinds": {},
         }
 
@@ -277,14 +335,18 @@ class JobStore:
     async def start(self) -> "JobStore":
         if self._running:
             return self
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="repro-serve"
-        )
         self._running = True
-        self._tasks = [
-            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
-            for i in range(self.workers)
-        ]
+        if self.workers > 0:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-serve"
+            )
+            self._tasks = [
+                asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+                for i in range(self.workers)
+            ]
+        self._tasks.append(
+            asyncio.create_task(self._reaper(), name="serve-lease-reaper")
+        )
         return self
 
     async def close(self) -> None:
@@ -311,8 +373,9 @@ class JobStore:
 
     def retry_after_s(self) -> float:
         """Crude drain estimate used for the 429 Retry-After header."""
-        backlog = max(1, self.pending_cells - self.workers)
-        return min(60.0, max(1.0, backlog / self.workers))
+        drain = max(1, self.workers)  # head-only: assume one remote worker
+        backlog = max(1, self.pending_cells - drain)
+        return min(60.0, max(1.0, backlog / drain))
 
     def get_job(self, job_id: str) -> Optional[Job]:
         return self._jobs.get(job_id)
@@ -420,6 +483,190 @@ class JobStore:
                 continue
             await self._execute(entry)
 
+    # -- remote leases ---------------------------------------------------------
+
+    def grant_lease(
+        self, worker_id: str, max_cells: int = 4
+    ) -> Optional[Lease]:
+        """Pop up to ``max_cells`` queued cells into a new lease.
+
+        Returns ``None`` when no work is queued.  Granted cells leave the
+        tenant queues (local workers cannot pick them up) but stay in
+        ``_inflight`` so later submissions still dedup onto them; each
+        grant charges one ``worker_attempts`` against the cell's
+        ``worker_retries`` budget.
+        """
+        entries: list[_InFlight] = []
+        while len(entries) < max(1, max_cells):
+            entry = self._next_entry()
+            if entry is None:
+                break
+            entries.append(entry)
+        if not entries:
+            return None
+        self._lease_counter += 1
+        lease = Lease(
+            lease_id=f"l{self._lease_counter:06d}-{secrets.token_hex(3)}",
+            token=secrets.token_hex(8),
+            worker_id=worker_id,
+            ttl_s=self.lease_ttl_s,
+            deadline=time.monotonic() + self.lease_ttl_s,
+        )
+        for entry in entries:
+            entry.worker_attempts += 1
+            lease.entries[entry.spec_hash] = entry
+            for job, index in entry.subscribers:
+                cell = job.cells[index]
+                cell.state = "running"
+                cell.worker = worker_id
+                job.emit(job._cell_event(cell))
+        self._leases[lease.lease_id] = lease
+        self.totals["leases_granted"] += 1
+        return lease
+
+    def _check_lease(self, lease_id: str, token: str) -> Lease:
+        lease = self._leases.get(lease_id)
+        if lease is None or lease.token != token:
+            raise UnknownLeaseError(lease_id)
+        return lease
+
+    def heartbeat(self, lease_id: str, token: str) -> Lease:
+        """Extend a live lease's deadline by a full TTL."""
+        lease = self._check_lease(lease_id, token)
+        lease.deadline = time.monotonic() + lease.ttl_s
+        return lease
+
+    def push_results(
+        self,
+        lease_id: str,
+        token: str,
+        outcomes: Sequence[dict],
+        worker_id: str = "",
+    ) -> dict:
+        """Accept per-cell outcomes from a remote worker.
+
+        Outcomes are keyed by ``spec_hash`` and accepted whenever the
+        cell is still unresolved — even if the lease already expired and
+        was reaped (the work is done; discarding it would only waste the
+        retry budget).  Outcomes for cells that resolved elsewhere in
+        the meantime are counted stale.  ``lease_open=False`` in the
+        reply tells the worker to abandon the rest of its batch.
+        """
+        lease = self._leases.get(lease_id)
+        if lease is not None and lease.token != token:
+            raise UnknownLeaseError(lease_id)
+        accepted = 0
+        stale = 0
+        for outcome in outcomes:
+            if self._accept_outcome(outcome, worker_id):
+                accepted += 1
+            else:
+                stale += 1
+                self.totals["results_stale"] += 1
+        if lease is not None:
+            lease.deadline = time.monotonic() + lease.ttl_s
+            if not lease.entries:
+                del self._leases[lease.lease_id]
+                lease = None
+        return {
+            "accepted": accepted,
+            "stale": stale,
+            "lease_open": lease is not None,
+        }
+
+    def _accept_outcome(self, outcome: dict, worker_id: str) -> bool:
+        """Resolve one remotely executed cell; False if it went stale."""
+        spec_hash = outcome["spec_hash"]
+        entry = self._inflight.pop(spec_hash, None)
+        if entry is None:
+            return False
+        self._remove_queued(entry)
+        for lease in self._leases.values():
+            lease.entries.pop(spec_hash, None)
+        stats: Optional[RunStats] = None
+        error: Optional[dict] = None
+        if outcome.get("error") is not None:
+            error = dict(outcome["error"])
+        else:
+            stats = outcome["stats"]
+            if not isinstance(stats, RunStats):
+                stats = RunStats.from_dict(stats)
+            if self.cache is not None:
+                # Artifact replication: the head's cache now serves this
+                # cell to every future submission and cache-warming worker.
+                self.cache.put(entry.spec, stats)
+        self.totals["cells_remote"] += 1
+        if outcome.get("simulated", True) and error is None:
+            for job, index in entry.subscribers:
+                job.cells[index].worker = worker_id or None
+        self._resolve(entry, stats, error)
+        return True
+
+    def _remove_queued(self, entry: _InFlight) -> None:
+        """Drop an entry from its tenant queue, if it is still queued."""
+        queue = self._queues.get(entry.tenant)
+        if queue is None:
+            return
+        try:
+            queue.remove(entry)
+        except ValueError:
+            return
+        if not queue:
+            del self._queues[entry.tenant]
+            self._tenant_order.remove(entry.tenant)
+
+    def reap_expired(self, now: Optional[float] = None) -> int:
+        """Requeue (or fail) the cells of every lease past its deadline.
+
+        Each expired lease's cells are requeued exactly once — back onto
+        their tenants' queues with state reset to ``queued`` — unless
+        their ``worker_retries`` budget is spent, in which case they
+        resolve as structured ``worker_lost`` failures.  Returns the
+        number of cells requeued.
+        """
+        now = time.monotonic() if now is None else now
+        requeued = 0
+        for lease_id in [
+            lid for lid, lease in self._leases.items()
+            if lease.deadline <= now
+        ]:
+            lease = self._leases.pop(lease_id)
+            self.totals["leases_reaped"] += 1
+            for entry in lease.entries.values():
+                if entry.spec_hash not in self._inflight:
+                    continue  # resolved by a late push; nothing to redo
+                if entry.worker_attempts <= self.worker_retries:
+                    for job, index in entry.subscribers:
+                        cell = job.cells[index]
+                        cell.state = "queued"
+                        cell.worker = None
+                        job.emit(job._cell_event(cell))
+                    self._enqueue(entry.tenant, entry)
+                    self.totals["cells_requeued"] += 1
+                    requeued += 1
+                else:
+                    self._inflight.pop(entry.spec_hash, None)
+                    self._resolve(entry, None, {
+                        "kind": "worker_lost",
+                        "message": (
+                            f"worker {lease.worker_id!r} lost lease "
+                            f"{lease_id} after {entry.worker_attempts} "
+                            f"attempt(s)"
+                        ),
+                        "attempts": entry.worker_attempts,
+                    })
+        return requeued
+
+    async def _reaper(self) -> None:
+        """Background sweep converting expired leases into requeues."""
+        interval = max(0.05, min(1.0, self.lease_ttl_s / 4))
+        while self._running:
+            await asyncio.sleep(interval)
+            try:
+                self.reap_expired()
+            except Exception:
+                pass  # never let a reap error kill the loop
+
     # -- execution -------------------------------------------------------------
 
     def _run_cell_blocking(self, spec: SimSpec) -> RunStats:
@@ -513,5 +760,8 @@ class JobStore:
             "jobs_open": sum(
                 1 for job in self._jobs.values() if not job.is_done
             ),
+            "leases_open": len(self._leases),
+            "lease_ttl_s": self.lease_ttl_s,
+            "worker_retries": self.worker_retries,
             "cache_enabled": self.cache is not None,
         }

@@ -4,29 +4,40 @@
 :class:`~repro.serve.scheduler.JobStore`.  The surface is deliberately
 small and stdlib-only:
 
-==========================  ====================================================
-``GET  /healthz``           liveness + worker-pool state
-``GET  /stats``             store-wide counters (dedup, cache, failure kinds)
-``POST /jobs``              submit a grid: ``{"specs": [spec...], "tenant"?}``
-                            -> 202 with the job snapshot, or 429 + Retry-After
-``GET  /jobs/<id>``         job status snapshot (per-cell states, health)
-``GET  /jobs/<id>/events``  NDJSON stream: replay + follow until the job ends
-``GET  /jobs/<id>/results`` delivered stats + structured failures
-``GET  /cells/<hash>``      the raw cached artifact for one spec hash
-==========================  ====================================================
+==============================  ================================================
+``GET  /healthz``               liveness + role, pool state, protocol version
+``GET  /stats``                 store-wide counters (dedup, cache, leases)
+``POST /jobs``                  submit a grid (:class:`SubmitRequest`)
+                                -> 202 :class:`JobSnapshot`, or 429 + Retry-After
+``GET  /jobs/<id>``             job status snapshot (per-cell states, health)
+``GET  /jobs/<id>/events``      NDJSON stream: replay + follow until job end
+``GET  /jobs/<id>/results``     delivered stats + structured failures
+``GET  /cells/<hash>``          the raw cached artifact for one spec hash
+``POST /leases``                worker pull (:class:`LeaseRequest`) -> 201
+                                :class:`LeaseGrant` (200 + empty grant if idle)
+``POST /leases/<id>/heartbeat`` extend the lease -> :class:`HeartbeatAck`
+``POST /leases/<id>/results``   push outcomes (:class:`ResultPush`) ->
+                                :class:`ResultAck`
+==============================  ================================================
 
-Submissions go through the :func:`repro.api.submit` facade — the server
-is just HTTP framing around it.  Tenants identify themselves via the
-``"tenant"`` body field or the ``X-Repro-Tenant`` header; there is no
-authentication (the service is a lab-cluster tool, bind it accordingly).
+Request/response bodies are the frozen dataclasses of
+:mod:`repro.serve.protocol`, each stamped with ``protocol_version``; a
+submission or lease call from a different protocol revision is rejected
+with a structured 400 ``protocol_mismatch`` error so head/worker skew
+fails loudly.  Submissions go through the :func:`repro.api.submit`
+facade — the server is just HTTP framing around it.  Tenants identify
+themselves via the ``"tenant"`` body field or the ``X-Repro-Tenant``
+header; there is no authentication (the service is a lab-cluster tool,
+bind it accordingly).
 
-Error responses are structured JSON bodies::
+Error responses are :class:`~repro.serve.protocol.ErrorBody` JSON::
 
-    {"error": {"kind": "queue_full", "message": "...", "retry_after_s": 2.0}}
+    {"error": {"kind": "queue_full", "message": "...", "retry_after_s": 2.0},
+     "protocol_version": 1}
 
 with cell-level failures inside job results carrying the PR-5
 ``CellFailure`` kinds ("error" | "timeout" | "crash" | "stall" |
-"deadlock").
+"deadlock" | "worker_lost").
 """
 
 from __future__ import annotations
@@ -34,20 +45,40 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import time
 from typing import Callable, Optional
 
 from repro import api
-from repro.experiments.spec import SimSpec
 from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ErrorBody,
+    HeartbeatAck,
+    HeartbeatRequest,
+    LeaseCell,
+    LeaseGrant,
+    LeaseRequest,
+    JobResults,
+    JobSnapshot,
     ProtocolError,
     Request,
+    ResultAck,
+    ResultPush,
+    SubmitRequest,
+    VersionMismatchError,
     read_request,
     render_response,
     render_stream_head,
 )
-from repro.serve.scheduler import JobStore, QueueFullError
+from repro.serve.scheduler import (
+    JobStore,
+    QueueFullError,
+    UnknownLeaseError,
+)
 
 SERVER_NAME = "repro-serve/1"
+
+#: Poll hint handed to workers when the queues are empty.
+IDLE_RETRY_S = 0.5
 
 
 def _json_body(obj: dict) -> bytes:
@@ -55,7 +86,7 @@ def _json_body(obj: dict) -> bytes:
 
 
 def _error_body(kind: str, message: str, **extra) -> bytes:
-    return _json_body({"error": {"kind": kind, "message": message, **extra}})
+    return _json_body(ErrorBody(kind=kind, message=message, **extra).to_dict())
 
 
 class SweepServer:
@@ -139,6 +170,10 @@ class SweepServer:
             and request.method == "GET"
         ):
             return self._artifact(writer, segments[1])
+        if segments and segments[0] == "leases":
+            if request.method != "POST":
+                return self._method_not_allowed(writer, "POST")
+            return self._lease_route(request, writer, segments)
         writer.write(render_response(
             404, _error_body("not_found", f"no route for {request.path}")
         ))
@@ -165,59 +200,76 @@ class SweepServer:
             extra_headers=(("Allow", allowed),),
         ))
 
+    def _parse_body(self, request: Request, message_cls):
+        """Parse + validate a typed request body.
+
+        Returns the parsed message, or ``None`` after writing the
+        structured 400 (``protocol_mismatch`` for version skew,
+        ``bad_request`` for anything else malformed).
+        """
+        try:
+            data = json.loads(request.body or b"{}")
+            return message_cls.from_dict(data), None
+        except VersionMismatchError as exc:
+            return None, ErrorBody(
+                kind="protocol_mismatch",
+                message=exc.message,
+                expected_version=exc.expected,
+                got_version=exc.got if isinstance(exc.got, int) else None,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            return None, ErrorBody(
+                kind="bad_request",
+                message=f"invalid {message_cls.__name__} body: {exc}",
+            )
+
     # -- endpoints -------------------------------------------------------------
 
     def _health(self) -> dict:
         return {
             "status": "ok",
             "server": SERVER_NAME,
+            "protocol_version": PROTOCOL_VERSION,
+            "role": "head" if self.store.workers == 0 else "head+local",
             "workers": self.store.workers,
             "executor": self.store.executor_kind,
             "pending_cells": self.store.pending_cells,
             "max_pending": self.store.max_pending,
+            "leases_open": len(self.store._leases),
         }
 
     async def _submit(
         self, request: Request, writer: asyncio.StreamWriter
     ) -> None:
-        try:
-            body = json.loads(request.body or b"{}")
-            raw_specs = body["specs"]
-            if not isinstance(raw_specs, list):
-                raise TypeError("'specs' must be a list of spec objects")
-            specs = [SimSpec.from_dict(item) for item in raw_specs]
-        except (KeyError, TypeError, ValueError) as exc:
-            return self._reply(writer, 400, {
-                "error": {
-                    "kind": "bad_request",
-                    "message": f"invalid submission: {exc}",
-                }
-            })
+        submit, error = self._parse_body(request, SubmitRequest)
+        if submit is None:
+            return self._reply(writer, 400, error.to_dict())
         tenant = (
-            body.get("tenant")
+            submit.tenant
             or request.headers.get("x-repro-tenant")
             or "default"
         )
         try:
-            job = await api.submit(specs, tenant=tenant, store=self.store)
+            job = await api.submit(
+                list(submit.specs), tenant=tenant, store=self.store
+            )
         except QueueFullError as exc:
+            busy = ErrorBody(
+                kind="queue_full",
+                message=str(exc),
+                pending=exc.pending,
+                limit=exc.limit,
+                retry_after_s=exc.retry_after_s,
+            )
             return self._reply(
                 writer,
                 429,
-                {
-                    "error": {
-                        "kind": "queue_full",
-                        "message": str(exc),
-                        "pending": exc.pending,
-                        "limit": exc.limit,
-                        "retry_after_s": exc.retry_after_s,
-                    }
-                },
+                busy.to_dict(),
                 extra_headers=(
                     ("Retry-After", f"{max(1, round(exc.retry_after_s))}"),
                 ),
             )
-        self._reply(writer, 202, job.snapshot(detail=False))
+        self._reply(writer, 202, JobSnapshot.from_job(job).to_dict())
 
     async def _job_route(
         self,
@@ -227,18 +279,18 @@ class SweepServer:
     ) -> None:
         job = self.store.get_job(segments[1])
         if job is None:
-            return self._reply(writer, 404, {
-                "error": {
-                    "kind": "unknown_job",
-                    "message": f"no job {segments[1]!r}",
-                }
-            })
+            return self._reply(writer, 404, ErrorBody(
+                kind="unknown_job", message=f"no job {segments[1]!r}"
+            ).to_dict())
         tail = segments[2:]
         if tail == []:
             detail = request.query.get("detail", ["1"])[0] != "0"
-            return self._reply(writer, 200, job.snapshot(detail=detail))
+            snapshot = JobSnapshot.from_job(job, detail=detail)
+            return self._reply(writer, 200, snapshot.to_dict())
         if tail == ["results"]:
-            return self._reply(writer, 200, job.results_dict())
+            return self._reply(
+                writer, 200, JobResults.from_job(job).to_dict()
+            )
         if tail == ["events"]:
             writer.write(render_stream_head(
                 extra_headers=(("Server", SERVER_NAME),)
@@ -248,12 +300,9 @@ class SweepServer:
                 writer.write(_json_body(event))
                 await writer.drain()
             return
-        self._reply(writer, 404, {
-            "error": {
-                "kind": "not_found",
-                "message": f"no job route {'/'.join(tail)!r}",
-            }
-        })
+        self._reply(writer, 404, ErrorBody(
+            kind="not_found", message=f"no job route {'/'.join(tail)!r}"
+        ).to_dict())
 
     def _artifact(self, writer: asyncio.StreamWriter, spec_hash: str) -> None:
         cache = self.store.cache
@@ -261,16 +310,106 @@ class SweepServer:
             cache.read_artifact(spec_hash) if cache is not None else None
         )
         if artifact is None:
-            return self._reply(writer, 404, {
-                "error": {
-                    "kind": "unknown_artifact",
-                    "message": (
-                        "result cache disabled" if cache is None
-                        else f"no artifact for {spec_hash!r}"
-                    ),
-                }
-            })
+            return self._reply(writer, 404, ErrorBody(
+                kind="unknown_artifact",
+                message=(
+                    "result cache disabled" if cache is None
+                    else f"no artifact for {spec_hash!r}"
+                ),
+            ).to_dict())
         self._reply(writer, 200, artifact)
+
+    # -- lease endpoints -------------------------------------------------------
+
+    def _lease_route(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        segments: list[str],
+    ) -> None:
+        if segments == ["leases"]:
+            return self._grant(request, writer)
+        if len(segments) == 3 and segments[2] == "heartbeat":
+            return self._heartbeat(request, writer, segments[1])
+        if len(segments) == 3 and segments[2] == "results":
+            return self._push_results(request, writer, segments[1])
+        self._reply(writer, 404, ErrorBody(
+            kind="not_found", message=f"no lease route {request.path!r}"
+        ).to_dict())
+
+    def _grant(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        ask, error = self._parse_body(request, LeaseRequest)
+        if ask is None:
+            return self._reply(writer, 400, error.to_dict())
+        lease = self.store.grant_lease(ask.worker_id, ask.max_cells)
+        if lease is None:
+            empty = LeaseGrant(
+                lease_id="", token="", ttl_s=self.store.lease_ttl_s,
+                cells=(), retry_after_s=IDLE_RETRY_S,
+            )
+            return self._reply(writer, 200, empty.to_dict())
+        grant = LeaseGrant(
+            lease_id=lease.lease_id,
+            token=lease.token,
+            ttl_s=lease.ttl_s,
+            cells=tuple(
+                LeaseCell(
+                    spec=entry.spec,
+                    spec_hash=entry.spec_hash,
+                    tenant=entry.tenant,
+                    attempt=entry.worker_attempts,
+                )
+                for entry in lease.entries.values()
+            ),
+        )
+        self._reply(writer, 201, grant.to_dict())
+
+    def _heartbeat(
+        self, request: Request, writer: asyncio.StreamWriter, lease_id: str
+    ) -> None:
+        beat, error = self._parse_body(request, HeartbeatRequest)
+        if beat is None:
+            return self._reply(writer, 400, error.to_dict())
+        try:
+            lease = self.store.heartbeat(lease_id, beat.token)
+        except UnknownLeaseError as exc:
+            return self._reply(writer, 404, ErrorBody(
+                kind="unknown_lease", message=str(exc)
+            ).to_dict())
+        ack = HeartbeatAck(
+            lease_id=lease.lease_id,
+            ttl_s=lease.ttl_s,
+            expires_in_s=max(0.0, lease.deadline - time.monotonic()),
+            cells_outstanding=len(lease.entries),
+        )
+        self._reply(writer, 200, ack.to_dict())
+
+    def _push_results(
+        self, request: Request, writer: asyncio.StreamWriter, lease_id: str
+    ) -> None:
+        push, error = self._parse_body(request, ResultPush)
+        if push is None:
+            return self._reply(writer, 400, error.to_dict())
+        try:
+            outcome = self.store.push_results(
+                lease_id,
+                push.token,
+                [
+                    {
+                        "spec_hash": item.spec_hash,
+                        "stats": item.stats,
+                        "error": item.error,
+                        "simulated": item.simulated,
+                    }
+                    for item in push.outcomes
+                ],
+                worker_id=push.worker_id,
+            )
+        except UnknownLeaseError as exc:
+            return self._reply(writer, 404, ErrorBody(
+                kind="unknown_lease", message=str(exc)
+            ).to_dict())
+        self._reply(writer, 200, ResultAck(**outcome).to_dict())
 
 
 async def serve_forever(

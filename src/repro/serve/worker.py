@@ -1,0 +1,267 @@
+"""Remote sweep worker: ``python -m repro serve --role worker --head URL``.
+
+A worker node owns no queues and no jobs — it is a pull loop against a
+head's lease API (:mod:`repro.serve.server`):
+
+1. **lease** — ``POST /leases`` asks for a batch of up to
+   ``lease_cells`` queued cells; an empty grant sleeps ``poll_s`` (the
+   head's ``retry_after_s`` hint, if longer) and retries.
+2. **heartbeat** — a daemon thread extends the lease every ``ttl / 3``
+   seconds while any cell of the batch is still executing.  A failed
+   heartbeat (head reaped the lease, network partition) flips the
+   batch's ``lost`` flag: in-flight cells finish and still push — the
+   head accepts late results for unresolved cells — but no new cell of
+   the batch starts.
+3. **execute** — each cell first tries the worker's *local* result
+   cache, then ``GET /cells/<hash>`` on the head (cache warming), and
+   only then simulates via the PR-7
+   :func:`~repro.experiments.orchestrator.execute_cell` path (process
+   isolation, timeout, retries) on a small thread pool.
+4. **push** — every completed cell is pushed promptly
+   (``POST /leases/<id>/results``), one outcome per call, so a worker
+   killed mid-batch loses at most the cells it had not finished; the
+   head replicates pushed artifacts into its own cache, which is what
+   makes the next ``GET /cells/<hash>`` — and every future submission —
+   a hit.  An ack with ``lease_open=False`` means the head reaped the
+   lease and requeued the leftovers: the worker abandons the batch.
+
+Failures ride the same wire: a cell that exhausts its local retries
+pushes a structured error (PR-5 ``CellFailure`` kinds), and a worker
+that dies without pushing is handled entirely head-side (lease expiry →
+requeue → ``worker_lost`` after the retry budget).  The worker refuses
+to start against a head speaking a different ``protocol_version``.
+"""
+
+from __future__ import annotations
+
+import secrets
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.system import RunStats
+from repro.experiments.orchestrator import (
+    CellExecutionError,
+    ResultCache,
+    _failure_kind,
+    execute_cell,
+)
+from repro.experiments.spec import SimSpec
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import CellOutcome, LeaseGrant, ResultPush
+
+
+def default_worker_id() -> str:
+    """Host-qualified, collision-proof default worker name."""
+    return f"{socket.gethostname()}-{secrets.token_hex(3)}"
+
+
+@dataclass
+class _BatchState:
+    """Shared flag set by the heartbeat thread when the lease is gone."""
+
+    lost: threading.Event = field(default_factory=threading.Event)
+
+
+class WorkerNode:
+    """One worker process: lease / heartbeat / execute / push."""
+
+    def __init__(
+        self,
+        head_url: str,
+        *,
+        worker_id: Optional[str] = None,
+        jobs: int = 2,
+        lease_cells: int = 4,
+        poll_s: float = 0.5,
+        use_cache: bool = True,
+        cache_dir: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        runner: Optional[Callable[[SimSpec], RunStats]] = None,
+        log: Optional[Callable[[str], None]] = None,
+    ):
+        self.client = ServeClient.from_url(head_url, tenant="worker")
+        self.worker_id = worker_id or default_worker_id()
+        self.jobs = max(1, jobs)
+        self.lease_cells = max(1, lease_cells)
+        self.poll_s = poll_s
+        self.cache = ResultCache(cache_dir) if use_cache else None
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self._runner = runner
+        self._log = log or (lambda message: None)
+        self._stop = threading.Event()
+        #: Lifetime counters, mirrored into the CLI's shutdown line.
+        self.counters = {
+            "leases": 0,
+            "cells_done": 0,
+            "cells_failed": 0,
+            "cells_local_cache": 0,
+            "cells_head_cache": 0,
+            "cells_simulated": 0,
+            "leases_lost": 0,
+        }
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    # -- cell execution --------------------------------------------------------
+
+    def _resolve_cell(self, spec: SimSpec, spec_hash: str) -> CellOutcome:
+        """Local cache -> head artifact -> simulate; never raises."""
+        if self.cache is not None:
+            hit = self.cache.get(spec)
+            if hit is not None:
+                self.counters["cells_local_cache"] += 1
+                return CellOutcome(
+                    spec_hash=spec_hash, stats=hit, simulated=False
+                )
+            try:
+                artifact = self.client.artifact(spec_hash)
+                stats = RunStats.from_dict(artifact["stats"])
+            except (ServeError, KeyError, TypeError, ValueError):
+                pass  # not on the head either; simulate below
+            else:
+                self.cache.put(spec, stats)
+                self.counters["cells_head_cache"] += 1
+                return CellOutcome(
+                    spec_hash=spec_hash, stats=stats, simulated=False
+                )
+        try:
+            if self._runner is not None:
+                stats = self._runner(spec)
+            else:
+                stats = execute_cell(
+                    spec, timeout_s=self.timeout_s, retries=self.retries
+                )
+        except CellExecutionError as exc:
+            return CellOutcome(spec_hash=spec_hash, error={
+                "kind": exc.kind,
+                "message": exc.message,
+                "attempts": exc.attempts,
+            })
+        except Exception as exc:  # injected-runner failures
+            return CellOutcome(spec_hash=spec_hash, error={
+                "kind": _failure_kind(exc),
+                "message": f"{type(exc).__name__}: {exc}",
+                "attempts": 1,
+            })
+        if self.cache is not None:
+            self.cache.put(spec, stats)
+        self.counters["cells_simulated"] += 1
+        return CellOutcome(spec_hash=spec_hash, stats=stats)
+
+    # -- lease handling --------------------------------------------------------
+
+    def _heartbeat_loop(self, grant: LeaseGrant, state: _BatchState) -> None:
+        interval = max(0.05, grant.ttl_s / 3)
+        while not state.lost.wait(interval):
+            try:
+                self.client.heartbeat(grant.lease_id, grant.token)
+            except ServeError:
+                # Reaped or unreachable: stop starting new cells; cells
+                # already executing still push (late results are
+                # accepted while the cell is unresolved head-side).
+                self.counters["leases_lost"] += 1
+                state.lost.set()
+                return
+
+    def _push(self, grant: LeaseGrant, outcome: CellOutcome,
+              state: _BatchState) -> None:
+        push = ResultPush(
+            token=grant.token,
+            outcomes=(outcome,),
+            worker_id=self.worker_id,
+        )
+        try:
+            ack = self.client.push_results(grant.lease_id, push)
+        except ServeError as exc:
+            self._log(f"push failed for {outcome.spec_hash[:12]}: {exc}")
+            state.lost.set()
+            return
+        if outcome.error is None:
+            self.counters["cells_done"] += 1
+        else:
+            self.counters["cells_failed"] += 1
+        if not ack.lease_open:
+            state.lost.set()
+
+    def _run_batch(self, grant: LeaseGrant) -> None:
+        self.counters["leases"] += 1
+        state = _BatchState()
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(grant, state),
+            name=f"{self.worker_id}-heartbeat",
+            daemon=True,
+        )
+        beat.start()
+        try:
+            with ThreadPoolExecutor(
+                max_workers=self.jobs,
+                thread_name_prefix=f"{self.worker_id}-cell",
+            ) as pool:
+                futures = []
+                for cell in grant.cells:
+                    if state.lost.is_set() or self._stop.is_set():
+                        break  # head requeued the rest; don't duplicate
+                    futures.append(pool.submit(
+                        self._resolve_cell, cell.spec, cell.spec_hash
+                    ))
+                for future in futures:
+                    self._push(grant, future.result(), state)
+        finally:
+            state.lost.set()  # stops the heartbeat thread
+            beat.join(timeout=5.0)
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self, max_batches: Optional[int] = None) -> dict:
+        """Pull-execute-push until stopped; returns the counters.
+
+        ``max_batches`` bounds the number of *non-empty* grants (tests);
+        None runs until :meth:`stop` or the process dies.
+        """
+        health = self.client.check_protocol()
+        self._log(
+            f"worker {self.worker_id}: attached to head "
+            f"{self.client.host}:{self.client.port} "
+            f"(protocol {health.get('protocol_version')}, "
+            f"{self.jobs} local job(s), batch={self.lease_cells})"
+        )
+        batches = 0
+        while not self._stop.is_set():
+            try:
+                grant = self.client.lease(self.worker_id, self.lease_cells)
+            except ServeError as exc:
+                self._log(f"lease request failed: {exc}; retrying")
+                if self._stop.wait(max(self.poll_s, 1.0)):
+                    break
+                continue
+            if grant.is_empty:
+                if self._stop.wait(max(self.poll_s, grant.retry_after_s)):
+                    break
+                continue
+            self._log(
+                f"lease {grant.lease_id}: {len(grant.cells)} cell(s), "
+                f"ttl {grant.ttl_s:.1f}s"
+            )
+            self._run_batch(grant)
+            batches += 1
+            if max_batches is not None and batches >= max_batches:
+                break
+        return dict(self.counters)
+
+
+def run_worker(head_url: str, **kwargs) -> dict:
+    """Build and run one :class:`WorkerNode` (the CLI body)."""
+    node = WorkerNode(head_url, **kwargs)
+    try:
+        return node.run()
+    except KeyboardInterrupt:
+        node.stop()
+        return dict(node.counters)

@@ -16,7 +16,14 @@ from repro.core.schemes import Scheme
 from repro.core.system import RunStats
 from repro.experiments.config import ExperimentScale
 from repro.experiments.spec import SimSpec
-from repro.serve.client import ServeClient, ServerBusy, ServeError
+from repro.serve.client import (
+    ProtocolMismatch,
+    ServeClient,
+    ServeError,
+    ServerBusy,
+    UnknownResourceError,
+)
+from repro.serve.protocol import PROTOCOL_VERSION
 from repro.serve.scheduler import JobStore
 from repro.serve.server import SweepServer
 
@@ -140,10 +147,10 @@ class TestSurface:
 
     def test_unknown_routes_and_methods(self, live_server):
         client = live_server.client()
-        with pytest.raises(ServeError) as excinfo:
+        with pytest.raises(UnknownResourceError) as excinfo:
             client.job("j-nope")
         assert excinfo.value.status == 404
-        assert excinfo.value.body["error"]["kind"] == "unknown_job"
+        assert excinfo.value.kind == "unknown_job"
 
         status, _, body = client._request("GET", "/no/such/route")
         assert status == 404
@@ -152,13 +159,35 @@ class TestSurface:
 
     def test_invalid_submission_is_400(self, live_server):
         client = live_server.client()
-        status, _, body = client._request("POST", "/jobs", {"specs": "nope"})
+        status, _, body = client._request("POST", "/jobs", {
+            "protocol_version": PROTOCOL_VERSION, "specs": "nope",
+        })
         assert status == 400
         assert body["error"]["kind"] == "bad_request"
-        status, _, body = client._request(
-            "POST", "/jobs", {"specs": [{"benchmark": "art"}]}
-        )
+        status, _, body = client._request("POST", "/jobs", {
+            "protocol_version": PROTOCOL_VERSION,
+            "specs": [{"benchmark": "art"}],
+        })
         assert status == 400
+
+    def test_protocol_skew_is_structured_400(self, live_server):
+        """A peer from another protocol revision fails loudly, not quietly."""
+        client = live_server.client()
+        for bad in ({"specs": []},  # version missing entirely
+                    {"protocol_version": PROTOCOL_VERSION + 1, "specs": []}):
+            status, _, body = client._request("POST", "/jobs", bad)
+            assert status == 400
+            assert body["error"]["kind"] == "protocol_mismatch"
+            assert body["error"]["expected_version"] == PROTOCOL_VERSION
+        with pytest.raises(ProtocolMismatch):
+            # The typed client surfaces the same skew as its own error.
+            raise_payload = {"protocol_version": 99, "specs": []}
+            status, headers, body = client._request(
+                "POST", "/jobs", raise_payload
+            )
+            from repro.serve.client import raise_for_status
+            raise_for_status(status, headers, body)
+        assert client.health()["protocol_version"] == PROTOCOL_VERSION
 
 
 class TestRealSweep:
@@ -188,7 +217,7 @@ class TestRealSweep:
     def test_event_stream_over_http(self, live_server):
         client = live_server.client()
         snapshot = client.submit([make_spec()])
-        events = list(client.iter_events(snapshot["job_id"]))
+        events = list(client.iter_events(snapshot.job_id))
         assert events[0]["event"] == "job"
         assert events[-1]["event"] == "done"
         done_cells = [
@@ -201,7 +230,7 @@ class TestRealSweep:
     def test_artifact_endpoint(self, live_server):
         client = live_server.client()
         spec = make_spec()
-        client.wait(client.submit([spec])["job_id"])
+        client.wait(client.submit([spec]).job_id)
         artifact = client.artifact(spec.spec_hash())
         assert artifact["spec"] == spec.to_dict()
         assert artifact["stats"]["scheme"] == spec.scheme.value
@@ -235,12 +264,12 @@ class TestMultiTenant:
         job_b = server.client("tenant-b").submit(grid)
         runner.gate.set()
 
-        results_a = server.client("tenant-a").wait(job_a["job_id"])
-        results_b = server.client("tenant-b").wait(job_b["job_id"])
+        results_a = server.client("tenant-a").wait(job_a.job_id)
+        results_b = server.client("tenant-b").wait(job_b.job_id)
         assert len(runner.calls) == 2  # one execution per distinct spec
         for body in (results_a, results_b):
-            assert body["failed"] == 0
-            assert len(body["results"]) == 2  # both tenants fully served
+            assert body.snapshot.failed == 0
+            assert len(body.results) == 2  # both tenants fully served
         totals = server.client().stats()
         assert totals["cells_simulated"] == 2
         assert totals["cells_deduped"] == 2
@@ -254,14 +283,15 @@ class TestMultiTenant:
             server.client("b").submit([make_spec(benchmark="swim")])
         assert excinfo.value.status == 429
         assert excinfo.value.retry_after_s >= 1.0
-        assert excinfo.value.body["error"]["kind"] == "queue_full"
+        assert excinfo.value.kind == "queue_full"
+        assert isinstance(excinfo.value, ServeError)
 
         runner.gate.set()
-        server.client("a").wait(first["job_id"])
+        server.client("a").wait(first.job_id)
         # Capacity freed: the same submission is accepted now.
         retry = server.client("b").submit([make_spec(benchmark="swim")])
-        body = server.client("b").wait(retry["job_id"])
-        assert body["failed"] == 0
+        body = server.client("b").wait(retry.job_id)
+        assert body.snapshot.failed == 0
         assert server.client().stats()["submissions_rejected"] == 1
 
     def test_structured_failure_bodies(self, stub_server_factory):
@@ -273,13 +303,13 @@ class TestMultiTenant:
 
         server = stub_server_factory(workers=1, runner=stalling)
         client = server.client()
-        body = client.wait(client.submit([make_spec()])["job_id"])
-        assert body["failed"] == 1
-        error = body["failures"][0]["error"]
+        body = client.wait(client.submit([make_spec()]).job_id)
+        assert body.snapshot.failed == 1
+        error = body.failures[0].error
         assert error["kind"] == "stall"
         assert "starved" in error["message"]
-        snapshot = client.job(body["job_id"])
-        assert snapshot["failure_kinds"] == {"stall": 1}
+        snapshot = client.job(body.snapshot.job_id)
+        assert snapshot.failure_kinds == {"stall": 1}
 
 
 class TestCliAgainstServer:

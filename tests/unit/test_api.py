@@ -135,15 +135,6 @@ class TestSweep:
         assert "Sweep results" in capsys.readouterr().out
 
 
-class TestRunSchemeShim:
-    def test_deprecation_points_at_facade(self):
-        from repro.experiments.runner import run_scheme
-
-        with pytest.warns(DeprecationWarning, match="repro.api"):
-            stats = run_scheme(Scheme.CMP_DNUCA_3D, "art", scale=TINY)
-        assert stats.to_dict() == api.run(make_spec()).stats.to_dict()
-
-
 class TestSubmit:
     def test_submit_through_explicit_store(self):
         from repro.serve.scheduler import JobStore

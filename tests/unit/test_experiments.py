@@ -10,8 +10,12 @@ from repro.experiments.config import (
     ExperimentScale,
     current_scale,
 )
-from repro.experiments.registry import EXPERIMENT_NAMES, get_experiment
-from repro.experiments.runner import SCHEME_ORDER, format_table, run_scheme
+from repro.experiments.registry import (
+    EXPERIMENT_NAMES,
+    SCHEME_ORDER,
+    get_experiment,
+)
+from repro.experiments.runner import format_table
 from repro.experiments.spec import SimSpec, run_spec
 from repro.experiments import table1, table2
 
@@ -93,13 +97,13 @@ class TestRunner:
         stats = run_spec(spec)
         assert stats.l2_accesses > 0
 
-    def test_run_scheme_shim_matches_run_spec(self):
-        """The deprecated kwargs API warns and delegates to run_spec."""
-        scale = ExperimentScale(name="tiny", refs_per_cpu=400)
-        with pytest.deprecated_call():
-            legacy = run_scheme(Scheme.CMP_DNUCA_3D, "art", scale=scale)
-        spec = SimSpec.make(Scheme.CMP_DNUCA_3D, "art", scale=scale)
-        assert legacy.to_dict() == run_spec(spec).to_dict()
+    def test_run_scheme_shim_is_gone(self):
+        """The deprecated kwargs API was retired; the facade is the API."""
+        import repro.experiments
+        import repro.experiments.runner as runner
+
+        assert not hasattr(runner, "run_scheme")
+        assert not hasattr(repro.experiments, "run_scheme")
 
 
 def fake_stats(spec: SimSpec, latency: float = 50.0) -> RunStats:

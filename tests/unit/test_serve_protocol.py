@@ -1,0 +1,198 @@
+"""Unit tests for the versioned wire messages of the sweep service.
+
+Every message round-trips through ``to_dict``/``from_dict``; every
+request parser rejects a payload from a different protocol revision
+with :class:`~repro.serve.protocol.VersionMismatchError`.  Error bodies
+are the deliberate exception — a mismatch report must be parseable by
+the very peer it rejects.
+"""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.core.system import RunStats
+from repro.experiments.config import ExperimentScale
+from repro.experiments.spec import SimSpec
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    CellOutcome,
+    ErrorBody,
+    HeartbeatAck,
+    HeartbeatRequest,
+    LeaseCell,
+    LeaseGrant,
+    LeaseRequest,
+    ResultAck,
+    ResultPush,
+    SubmitRequest,
+    VersionMismatchError,
+    check_version,
+)
+
+TINY = ExperimentScale(name="tiny", refs_per_cpu=50)
+
+
+def make_spec(benchmark="art") -> SimSpec:
+    return SimSpec.make(Scheme.CMP_DNUCA_3D, benchmark, scale=TINY)
+
+
+def make_stats(spec: SimSpec) -> RunStats:
+    return RunStats(
+        scheme=spec.scheme,
+        avg_l2_hit_latency=42.0,
+        avg_l2_miss_latency=300.0,
+        l2_hits=10,
+        l2_misses=2,
+        migrations=1,
+        ipc=0.5,
+        per_cpu_ipc=[0.5] * 8,
+        l1_miss_rate=0.1,
+        flit_hops=100.0,
+        bus_flits=10.0,
+        invalidations=0,
+        instructions=1000.0,
+        cycles=2000.0,
+    )
+
+
+class TestVersioning:
+    def test_every_message_is_stamped(self):
+        spec = make_spec()
+        messages = [
+            SubmitRequest(specs=(spec,), tenant="t"),
+            LeaseRequest(worker_id="w1"),
+            HeartbeatRequest(token="tok"),
+            HeartbeatAck(
+                lease_id="l1", ttl_s=15.0,
+                expires_in_s=10.0, cells_outstanding=2,
+            ),
+            ResultPush(token="tok", outcomes=(), worker_id="w1"),
+            ResultAck(accepted=1, stale=0, lease_open=True),
+            ErrorBody(kind="bad_request", message="nope"),
+            LeaseGrant(lease_id="l1", token="tok", ttl_s=15.0, cells=()),
+        ]
+        for message in messages:
+            assert message.to_dict()["protocol_version"] == PROTOCOL_VERSION
+
+    def test_check_version_rejects_missing_and_wrong(self):
+        check_version({"protocol_version": PROTOCOL_VERSION})
+        for bad in ({}, {"protocol_version": PROTOCOL_VERSION + 1},
+                    {"protocol_version": "1"}, "not-a-mapping"):
+            with pytest.raises(VersionMismatchError) as excinfo:
+                check_version(bad)
+            assert excinfo.value.expected == PROTOCOL_VERSION
+            assert excinfo.value.status == 400
+
+    def test_requests_reject_version_skew(self):
+        spec = make_spec()
+        payloads = [
+            (SubmitRequest, SubmitRequest(specs=(spec,)).to_dict()),
+            (LeaseRequest, LeaseRequest(worker_id="w").to_dict()),
+            (HeartbeatRequest, HeartbeatRequest(token="t").to_dict()),
+            (ResultPush, ResultPush(token="t", outcomes=()).to_dict()),
+        ]
+        for cls, payload in payloads:
+            cls.from_dict(payload)  # sanity: current version parses
+            payload["protocol_version"] = PROTOCOL_VERSION + 1
+            with pytest.raises(VersionMismatchError):
+                cls.from_dict(payload)
+
+    def test_error_body_parses_without_version(self):
+        # The one deliberate exception: a peer rejected for version skew
+        # must still be able to read the rejection.
+        parsed = ErrorBody.from_dict({"error": {
+            "kind": "protocol_mismatch", "message": "skew",
+            "expected_version": PROTOCOL_VERSION, "got_version": 99,
+        }})
+        assert parsed.kind == "protocol_mismatch"
+        assert parsed.expected_version == PROTOCOL_VERSION
+        assert parsed.got_version == 99
+
+
+class TestRoundTrips:
+    def test_submit_request(self):
+        request = SubmitRequest(
+            specs=(make_spec(), make_spec("swim")), tenant="lab",
+        )
+        parsed = SubmitRequest.from_dict(request.to_dict())
+        assert parsed == request
+
+    def test_submit_request_validates_specs(self):
+        with pytest.raises(TypeError, match="list"):
+            SubmitRequest.from_dict({
+                "protocol_version": PROTOCOL_VERSION, "specs": "nope",
+            })
+        with pytest.raises(TypeError, match="tenant"):
+            SubmitRequest.from_dict({
+                "protocol_version": PROTOCOL_VERSION,
+                "specs": [], "tenant": 7,
+            })
+
+    def test_lease_grant_with_cells(self):
+        spec = make_spec()
+        grant = LeaseGrant(
+            lease_id="l000001-abc", token="deadbeef", ttl_s=15.0,
+            cells=(LeaseCell(
+                spec=spec, spec_hash=spec.spec_hash(),
+                tenant="lab", attempt=2,
+            ),),
+        )
+        parsed = LeaseGrant.from_dict(grant.to_dict())
+        assert parsed == grant
+        assert not parsed.is_empty
+        assert parsed.cells[0].attempt == 2
+
+    def test_empty_grant(self):
+        grant = LeaseGrant(
+            lease_id="", token="", ttl_s=15.0, cells=(), retry_after_s=0.5,
+        )
+        parsed = LeaseGrant.from_dict(grant.to_dict())
+        assert parsed.is_empty
+        assert parsed.retry_after_s == 0.5
+
+    def test_lease_request_validation(self):
+        for bad in ({"worker_id": ""}, {"worker_id": 3},
+                    {"worker_id": "w", "max_cells": 0}):
+            with pytest.raises(TypeError):
+                LeaseRequest.from_dict({
+                    "protocol_version": PROTOCOL_VERSION, **bad,
+                })
+
+    def test_result_push_with_outcomes(self):
+        spec = make_spec()
+        push = ResultPush(
+            token="tok",
+            worker_id="w1",
+            outcomes=(
+                CellOutcome(
+                    spec_hash=spec.spec_hash(), stats=make_stats(spec),
+                ),
+                CellOutcome(
+                    spec_hash="ffff", simulated=True,
+                    error={"kind": "crash", "message": "sig 9",
+                           "attempts": 1},
+                ),
+            ),
+        )
+        parsed = ResultPush.from_dict(push.to_dict())
+        assert parsed == push
+        assert parsed.outcomes[0].stats.ipc == 0.5
+        assert parsed.outcomes[1].error["kind"] == "crash"
+
+    def test_cell_outcome_requires_exactly_one_of_stats_error(self):
+        with pytest.raises(TypeError, match="exactly one"):
+            CellOutcome.from_dict({"spec_hash": "aa"})
+        with pytest.raises(TypeError, match="exactly one"):
+            CellOutcome.from_dict({
+                "spec_hash": "aa",
+                "stats": make_stats(make_spec()).to_dict(),
+                "error": {"kind": "error", "message": "x"},
+            })
+
+    def test_error_body_optional_fields_skipped_when_unset(self):
+        body = ErrorBody(kind="queue_full", message="full",
+                         retry_after_s=2.0, pending=10, limit=10)
+        wire = body.to_dict()
+        assert "expected_version" not in wire["error"]
+        assert wire["error"]["retry_after_s"] == 2.0
+        assert ErrorBody.from_dict(wire) == body

@@ -401,3 +401,269 @@ class TestEvents:
         events = run(scenario())
         assert events[0]["event"] == "job"
         assert events[-1]["event"] == "done"
+
+
+def outcome_for(spec: SimSpec, error: dict = None) -> dict:
+    """A remote-worker outcome dict as push_results consumes it."""
+    base = {"spec_hash": spec.spec_hash(), "simulated": True}
+    if error is not None:
+        return {**base, "stats": None, "error": error}
+    return {**base, "stats": fake_stats(spec), "error": None}
+
+
+async def head_only_store(**kwargs) -> JobStore:
+    """A store with no local execution: cells wait for remote leases."""
+    defaults = dict(workers=0, use_cache=False, lease_ttl_s=30.0)
+    defaults.update(kwargs)
+    store = JobStore(**defaults)
+    await store.start()
+    return store
+
+
+class TestLeases:
+    def test_grant_pops_queue_and_marks_running(self):
+        async def scenario():
+            store = await head_only_store()
+            try:
+                grid = [make_spec(), make_spec(benchmark="swim")]
+                job = await store.submit(grid, tenant="a")
+                lease = store.grant_lease("w1", max_cells=8)
+                assert lease is not None
+                assert len(lease.entries) == 2
+                assert store.grant_lease("w1") is None  # queue drained
+                states = [
+                    (cell.state, cell.worker) for cell in job.cells
+                ]
+                return states, dict(store.totals), store.stats_dict()
+            finally:
+                await store.close()
+
+        states, totals, stats = run(scenario())
+        assert states == [("running", "w1"), ("running", "w1")]
+        assert totals["leases_granted"] == 1
+        assert stats["leases_open"] == 1
+
+    def test_push_results_completes_job_and_replicates(self, tmp_path):
+        async def scenario():
+            store = await head_only_store(
+                use_cache=True, cache_dir=str(tmp_path)
+            )
+            try:
+                spec = make_spec()
+                job = await store.submit([spec], tenant="a")
+                lease = store.grant_lease("w1")
+                ack = store.push_results(
+                    lease.lease_id, lease.token,
+                    [outcome_for(spec)], worker_id="w1",
+                )
+                assert await asyncio.wait_for(job.wait(), timeout=5.0)
+                return ack, job.snapshot(), dict(store.totals)
+            finally:
+                await store.close()
+
+        ack, snapshot, totals = run(scenario())
+        assert ack == {"accepted": 1, "stale": 0, "lease_open": False}
+        assert snapshot["state"] == "done"
+        assert snapshot["simulated"] == 1
+        assert totals["cells_remote"] == 1
+        # Artifact replication: the pushed result is now in the head's
+        # cache and serves future submissions without simulation.
+        hit = ResultCache(str(tmp_path)).get(make_spec())
+        assert hit is not None
+
+    def test_reaped_lease_requeues_cells_exactly_once(self):
+        """The satellite contract: one reap -> one requeue per cell."""
+
+        async def scenario():
+            store = await head_only_store(worker_retries=1)
+            try:
+                grid = [make_spec(), make_spec(benchmark="swim")]
+                job = await store.submit(grid, tenant="a")
+                lease = store.grant_lease("w1", max_cells=8)
+                deadline = lease.deadline
+
+                requeued = store.reap_expired(now=deadline + 1.0)
+                assert requeued == 2
+                # A second sweep past the same deadline must be a no-op:
+                # the lease is gone, the cells are queued, not leased.
+                assert store.reap_expired(now=deadline + 2.0) == 0
+
+                states = [cell.state for cell in job.cells]
+                assert states == ["queued", "queued"]
+                assert all(cell.worker is None for cell in job.cells)
+
+                # The requeued cells are grantable again, with the
+                # attempt counter advanced.
+                retry = store.grant_lease("w2", max_cells=8)
+                assert len(retry.entries) == 2
+                attempts = [
+                    entry.worker_attempts
+                    for entry in retry.entries.values()
+                ]
+                return dict(store.totals), attempts
+            finally:
+                await store.close()
+
+        totals, attempts = run(scenario())
+        assert totals["cells_requeued"] == 2
+        assert totals["leases_reaped"] == 1
+        assert attempts == [2, 2]
+
+    def test_worker_lost_after_retry_exhaustion(self):
+        async def scenario():
+            store = await head_only_store(worker_retries=1)
+            try:
+                job = await store.submit([make_spec()], tenant="a")
+                for worker in ("w1", "w2"):
+                    lease = store.grant_lease(worker)
+                    assert lease is not None
+                    store.reap_expired(now=lease.deadline + 1.0)
+                snapshot = await asyncio.wait_for(job.wait(), timeout=5.0)
+                return snapshot, job.results_dict(), dict(store.totals)
+            finally:
+                await store.close()
+
+        snapshot, results, totals = run(scenario())
+        assert snapshot["failed"] == 1
+        error = results["failures"][0]["error"]
+        assert error["kind"] == "worker_lost"
+        assert error["attempts"] == 2
+        assert "w2" in error["message"]
+        assert snapshot["failure_kinds"] == {"worker_lost": 1}
+        assert totals["failure_kinds"] == {"worker_lost": 1}
+        assert totals["cells_requeued"] == 1  # only the first reap requeued
+
+    def test_late_push_from_reaped_lease_still_resolves(self):
+        """A worker that outlives its lease does not waste its work."""
+
+        async def scenario():
+            store = await head_only_store(worker_retries=5)
+            try:
+                spec = make_spec()
+                job = await store.submit([spec], tenant="a")
+                lease = store.grant_lease("w1")
+                store.reap_expired(now=lease.deadline + 1.0)  # requeued
+
+                ack = store.push_results(
+                    lease.lease_id, lease.token,
+                    [outcome_for(spec)], worker_id="w1",
+                )
+                snapshot = await asyncio.wait_for(job.wait(), timeout=5.0)
+                # The requeued copy must be gone: nothing left to grant.
+                assert store.grant_lease("w2") is None
+                return ack, snapshot
+            finally:
+                await store.close()
+
+        ack, snapshot = run(scenario())
+        assert ack["accepted"] == 1
+        assert ack["lease_open"] is False  # reaped leases stay closed
+        assert snapshot["state"] == "done"
+        assert snapshot["failed"] == 0
+
+    def test_duplicate_push_is_stale(self):
+        async def scenario():
+            store = await head_only_store()
+            try:
+                spec = make_spec()
+                await store.submit([spec], tenant="a")
+                lease = store.grant_lease("w1")
+                first = store.push_results(
+                    lease.lease_id, lease.token, [outcome_for(spec)]
+                )
+                second = store.push_results(
+                    lease.lease_id, lease.token, [outcome_for(spec)]
+                )
+                return first, second, dict(store.totals)
+            finally:
+                await store.close()
+
+        first, second, totals = run(scenario())
+        assert first["accepted"] == 1
+        assert second == {"accepted": 0, "stale": 1, "lease_open": False}
+        assert totals["results_stale"] == 1
+
+    def test_heartbeat_extends_and_validates_token(self):
+        from repro.serve.scheduler import UnknownLeaseError
+
+        async def scenario():
+            store = await head_only_store()
+            try:
+                await store.submit([make_spec()], tenant="a")
+                lease = store.grant_lease("w1")
+                before = lease.deadline
+                await asyncio.sleep(0.01)
+                extended = store.heartbeat(lease.lease_id, lease.token)
+                assert extended.deadline > before
+                with pytest.raises(UnknownLeaseError):
+                    store.heartbeat(lease.lease_id, "forged-token")
+                with pytest.raises(UnknownLeaseError):
+                    store.heartbeat("l-nope", lease.token)
+            finally:
+                await store.close()
+
+        run(scenario())
+
+    def test_remote_failure_outcome_is_structured(self):
+        async def scenario():
+            store = await head_only_store()
+            try:
+                spec = make_spec()
+                job = await store.submit([spec], tenant="a")
+                lease = store.grant_lease("w1")
+                store.push_results(
+                    lease.lease_id, lease.token,
+                    [outcome_for(spec, error={
+                        "kind": "timeout",
+                        "message": "cell exceeded 1.0s",
+                        "attempts": 2,
+                    })],
+                )
+                snapshot = await asyncio.wait_for(job.wait(), timeout=5.0)
+                return snapshot, job.results_dict()
+            finally:
+                await store.close()
+
+        snapshot, results = run(scenario())
+        assert snapshot["failure_kinds"] == {"timeout": 1}
+        assert results["failures"][0]["error"]["attempts"] == 2
+
+    def test_head_only_store_validates_and_idles(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            JobStore(workers=-1)
+        with pytest.raises(ValueError, match="lease_ttl_s"):
+            JobStore(lease_ttl_s=0)
+
+        async def scenario():
+            store = await head_only_store()
+            try:
+                job = await store.submit([make_spec()], tenant="a")
+                await asyncio.sleep(0.05)  # no local workers may run it
+                return [cell.state for cell in job.cells], store.workers
+            finally:
+                await store.close()
+
+        states, workers = run(scenario())
+        assert workers == 0
+        assert states == ["queued"]
+
+    def test_reaper_task_requeues_in_background(self):
+        """The asyncio reaper converts expiry to requeue without help."""
+
+        async def scenario():
+            store = await head_only_store(lease_ttl_s=0.1)
+            try:
+                await store.submit([make_spec()], tenant="a")
+                lease = store.grant_lease("w1")
+                assert lease is not None
+                for __ in range(100):
+                    if store.totals["leases_reaped"]:
+                        break
+                    await asyncio.sleep(0.05)
+                return dict(store.totals)
+            finally:
+                await store.close()
+
+        totals = run(scenario())
+        assert totals["leases_reaped"] == 1
+        assert totals["cells_requeued"] == 1
