@@ -175,3 +175,103 @@ def test_serve_load(once):
     # The warm pass is a pure cache hit: done before the 202 returns.
     assert results["warm_resubmit"]["state_at_submit"] == "done"
     assert results["warm_resubmit"]["cached"] == len(GRID)
+
+
+# -- journal overhead gate -----------------------------------------------------
+#
+# The durability journal rides the submission hot path (every accepted
+# job appends a "job" record before the 202 returns).  This gate keeps
+# that cost honest: warm submissions/s with the journal on must stay
+# within 15% of the same store with the journal off.
+
+WARM_SUBMISSIONS = 400
+
+
+def _synthetic_stats(spec: SimSpec):
+    from repro.core.system import RunStats
+
+    return RunStats(
+        scheme=spec.scheme,
+        avg_l2_hit_latency=20.0,
+        avg_l2_miss_latency=280.0,
+        l2_hits=1000,
+        l2_misses=50,
+        migrations=4,
+        ipc=0.6,
+        per_cpu_ipc=[0.6] * 8,
+        l1_miss_rate=0.08,
+        flit_hops=500.0,
+        bus_flits=25.0,
+        invalidations=2,
+        instructions=100000.0,
+        cycles=160000.0,
+    )
+
+
+async def _warm_submission_rate(cache_dir: str, journal: bool) -> float:
+    """Submissions/s against a fully warm cache (pure submit-path cost)."""
+    from repro.experiments.orchestrator import ResultCache
+
+    cache = ResultCache(cache_dir)
+    for spec in GRID:
+        if cache.get(spec) is None:
+            cache.put(spec, _synthetic_stats(spec))
+
+    store = JobStore(
+        workers=0, use_cache=True, cache_dir=cache_dir, journal=journal
+    )
+    await store.start()
+    server = SweepServer(store, port=0)
+    port = await server.start()
+    try:
+        client = AsyncServeClient(port=port, tenant="bench")
+        primer = await client.submit(GRID)
+        assert primer.state == "done"  # warm: resolved at submit time
+
+        start = time.perf_counter()
+        for __ in range(WARM_SUBMISSIONS):
+            await client.submit(GRID)
+        elapsed = time.perf_counter() - start
+    finally:
+        await server.close()
+        await store.close()
+    return WARM_SUBMISSIONS / elapsed
+
+
+async def _journal_overhead() -> dict:
+    import shutil
+    import tempfile
+
+    root = tempfile.mkdtemp(prefix="repro-journal-bench-")
+    try:
+        baseline = await _warm_submission_rate(
+            f"{root}/plain", journal=False
+        )
+        journaled = await _warm_submission_rate(
+            f"{root}/journaled", journal=True
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "warm_submissions": WARM_SUBMISSIONS,
+        "grid_cells": len(GRID),
+        "baseline_submissions_per_sec": baseline,
+        "journaled_submissions_per_sec": journaled,
+        "throughput_ratio": journaled / baseline,
+    }
+
+
+def test_journal_overhead(once):
+    results = once(lambda: asyncio.run(_journal_overhead()))
+
+    payload = {}
+    if OUTPUT.exists():
+        try:
+            payload = json.loads(OUTPUT.read_text())
+        except ValueError:
+            payload = {}
+    payload["journal_overhead"] = results
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # The WAL must stay cheap: within 15% of the in-memory submit path.
+    assert results["throughput_ratio"] >= 0.85, results

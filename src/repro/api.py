@@ -120,6 +120,7 @@ def sweep(
     trace_dir: Optional[str] = None,
     server: Optional[str] = None,
     tenant: str = "default",
+    outage_grace_s: float = 0.0,
 ) -> SweepSummary:
     """Run a grid of cells through the sweep orchestrator.
 
@@ -134,12 +135,16 @@ def sweep(
     :class:`~repro.experiments.orchestrator.SweepSummary` shape; the
     orchestrator knobs (``jobs``, cache, timeout, retries) are then
     server-side concerns and ignored here.  Service failures raise the
-    typed :class:`~repro.serve.client.ServeError` hierarchy.
+    typed :class:`~repro.serve.client.ServeError` hierarchy; a positive
+    ``outage_grace_s`` keeps the client retrying through a head outage
+    (e.g. a restart) for that long instead of failing fast.
     """
     if server is not None:
         from repro.serve.client import ServeClient
 
-        client = ServeClient.from_url(server, tenant=tenant)
+        client = ServeClient.from_url(
+            server, tenant=tenant, outage_grace_s=outage_grace_s
+        )
         return client.sweep(specs, progress=progress)
     return run_sweep(
         specs,

@@ -242,6 +242,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="tenant name for --server submissions (fair-queued "
              "against other tenants)",
     )
+    sweep.add_argument(
+        "--outage-grace", type=float, default=0.0, metavar="SECONDS",
+        help="with --server: keep retrying through a head outage "
+             "(e.g. a restart) for this long before giving up "
+             "(default 0: fail fast)",
+    )
     _add_orchestrator_args(sweep)
     _add_profile_args(sweep)
 
@@ -294,6 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
              "before it fails as worker_lost",
     )
     serve.add_argument(
+        "--no-journal", action="store_true",
+        help="head: disable the durable journal (jobs, queues, and "
+             "leases then do not survive a head restart)",
+    )
+    serve.add_argument(
         "--head", default=None, metavar="URL",
         help="worker: head node to lease cells from "
              "(e.g. http://127.0.0.1:8731)",
@@ -310,6 +321,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--poll", type=float, default=0.5, metavar="SECONDS",
         help="worker: sleep between lease requests when the head is idle",
+    )
+    serve.add_argument(
+        "--head-outage-grace", type=float, default=60.0, metavar="SECONDS",
+        help="worker: ride out an unreachable head (backoff with "
+             "jitter, results buffered locally) for this long before "
+             "exiting (default 60)",
+    )
+    serve.add_argument(
+        "--drain-on-idle", type=float, default=None, metavar="SECONDS",
+        help="worker: exit gracefully after the head has had no work "
+             "for this long (default: run until stopped)",
     )
 
     thermal = sub.add_parser("thermal", help="thermal profile of a placement")
@@ -469,6 +491,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 specs,
                 server=args.server,
                 tenant=args.tenant,
+                outage_grace_s=args.outage_grace,
                 progress=progress,
             )
         except ServeError as exc:
@@ -550,15 +573,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.lease_ttl if args.lease_ttl else DEFAULT_LEASE_TTL_S
         ),
         worker_retries=args.worker_retries,
+        journal=not args.no_journal,
     )
 
     def ready(port: int) -> None:
+        journal = store.journal_path or "disabled"
         print(
             f"repro serve listening on http://{args.host}:{port} "
             f"({store.workers} local worker(s), "
             f"max_pending={store.max_pending}, "
             f"executor={store.executor_kind}, "
-            f"lease_ttl={store.lease_ttl_s:.0f}s)",
+            f"lease_ttl={store.lease_ttl_s:.0f}s, "
+            f"journal={journal})",
             file=sys.stderr,
             flush=True,
         )
@@ -597,6 +623,8 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             timeout_s=args.timeout,
             retries=args.retries,
+            head_outage_grace=args.head_outage_grace,
+            drain_on_idle=args.drain_on_idle,
             log=log,
         )
     except ServeError as exc:
@@ -608,7 +636,7 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
         f"{counters['cells_failed']} failed, "
         f"{counters['cells_simulated']} simulated, "
         f"{counters['cells_local_cache'] + counters['cells_head_cache']} "
-        f"from cache"
+        f"from cache, {counters['cells_released']} released"
     )
     return 0
 

@@ -1,0 +1,80 @@
+"""Retry pacing shared by the serve clients and the remote worker.
+
+One policy, three consumers: :class:`~repro.serve.client.ServeClient`
+(idempotent-GET retries on transient resets), the worker's head-RPC
+wrapper (lease/heartbeat/push surviving head restarts inside
+``--head-outage-grace``), and the chaos suite (which needs the pacing
+deterministic under an injected RNG).  The policy is classic
+*exponential backoff with full jitter*: attempt ``n`` sleeps a uniform
+draw from ``[0, min(cap, base * 2**n)]``, so a fleet of workers hammered
+off a restarting head does not reconnect in lockstep.
+
+:func:`jittered` spreads a server-suggested ``Retry-After`` the same
+way (uniform in ``[value/2, value*1.5]``), so honoring backpressure
+does not synchronize the very clients being shed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+#: Transient transport failures worth retrying on an idempotent request:
+#: the peer dropped an established connection mid-exchange.  (A refused
+#: connection is *not* here — nothing is listening; retrying that is an
+#: outage-grace decision, not a transient-blip one.  Note that
+#: ``http.client.RemoteDisconnected`` subclasses ``ConnectionResetError``.)
+TRANSIENT_ERRORS = (ConnectionResetError, BrokenPipeError)
+
+
+def jittered(
+    value: float, rng: Optional[random.Random] = None, spread: float = 0.5
+) -> float:
+    """``value`` spread uniformly across ``[value*(1-spread), value*(1+spread)]``."""
+    rng = rng or random
+    lo = max(0.0, value * (1.0 - spread))
+    hi = value * (1.0 + spread)
+    return rng.uniform(lo, hi)
+
+
+class Backoff:
+    """Exponential backoff with full jitter.
+
+    >>> pace = Backoff(base_s=0.1, cap_s=2.0)
+    >>> delay = pace.next_delay()   # uniform in [0, 0.1]
+    >>> delay = pace.next_delay()   # uniform in [0, 0.2] ... capped at 2.0
+    >>> pace.reset()                # after a success
+
+    ``rng`` takes any object with a ``uniform(a, b)`` method (a
+    ``random.Random``, or a seeded stand-in from the chaos harness), so
+    retry schedules can be made reproducible.
+    """
+
+    def __init__(
+        self,
+        base_s: float = 0.1,
+        cap_s: float = 5.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if base_s <= 0:
+            raise ValueError(f"base_s must be > 0, got {base_s}")
+        if cap_s < base_s:
+            raise ValueError(f"cap_s must be >= base_s, got {cap_s}")
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self._rng = rng or random
+        self._attempt = 0
+
+    @property
+    def attempt(self) -> int:
+        """Consecutive failures so far (0 after a reset)."""
+        return self._attempt
+
+    def reset(self) -> None:
+        self._attempt = 0
+
+    def next_delay(self) -> float:
+        """The sleep before the next retry; advances the attempt count."""
+        ceiling = min(self.cap_s, self.base_s * (2 ** self._attempt))
+        self._attempt += 1
+        return self._rng.uniform(0.0, ceiling)

@@ -26,12 +26,14 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import random
 import time
 from typing import Iterator, Optional, Sequence
 from urllib.parse import urlsplit
 
 from repro.experiments.orchestrator import CellFailure, SweepSummary
 from repro.experiments.spec import SimSpec
+from repro.serve.backoff import TRANSIENT_ERRORS, Backoff, jittered
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ErrorBody,
@@ -40,7 +42,9 @@ from repro.serve.protocol import (
     JobResults,
     JobSnapshot,
     LeaseGrant,
+    LeaseRelease,
     LeaseRequest,
+    ReleaseAck,
     ResultAck,
     ResultPush,
     SubmitRequest,
@@ -172,7 +176,16 @@ def summary_from_results(results: JobResults) -> SweepSummary:
 
 
 class ServeClient:
-    """Synchronous client; one HTTP connection per call."""
+    """Synchronous client; one HTTP connection per call.
+
+    Idempotent requests (GETs, including the mid-stream event follow)
+    transparently retry on transient transport resets
+    (:data:`~repro.serve.backoff.TRANSIENT_ERRORS`), and — when
+    ``outage_grace_s`` is positive — keep retrying *any* connection
+    failure with full-jitter backoff until the grace window expires, so
+    a head restart mid-sweep looks like a pause rather than a crash.
+    Non-idempotent POSTs are never silently replayed.
+    """
 
     def __init__(
         self,
@@ -180,11 +193,17 @@ class ServeClient:
         port: int = 8731,
         tenant: str = "default",
         timeout_s: float = 300.0,
+        outage_grace_s: float = 0.0,
+        transient_retries: int = 3,
+        rng: Optional[random.Random] = None,
     ):
         self.host = host
         self.port = port
         self.tenant = tenant
         self.timeout_s = timeout_s
+        self.outage_grace_s = outage_grace_s
+        self.transient_retries = transient_retries
+        self._rng = rng
 
     @classmethod
     def from_url(cls, url: str, **kwargs) -> "ServeClient":
@@ -201,6 +220,43 @@ class ServeClient:
     # -- transport -------------------------------------------------------------
 
     def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        idempotent: Optional[bool] = None,
+    ) -> tuple[int, dict, dict]:
+        """One request, retried when it is safe to replay it.
+
+        GETs default to idempotent; POSTs must opt in explicitly.  Two
+        retry budgets apply: a small bounded count for transient resets
+        (connection reset / broken pipe mid-exchange), and an
+        ``outage_grace_s`` wall-clock window during which *any*
+        connection failure — including refused connections while the
+        head restarts — is retried with full-jitter backoff.
+        """
+        if idempotent is None:
+            idempotent = method == "GET"
+        backoff = Backoff(base_s=0.05, cap_s=2.0, rng=self._rng)
+        transient_left = self.transient_retries
+        grace_deadline: Optional[float] = None
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServeConnectionError as exc:
+                if not idempotent:
+                    raise
+                now = time.monotonic()
+                if grace_deadline is None:
+                    grace_deadline = now + self.outage_grace_s
+                transient = isinstance(exc.__cause__, TRANSIENT_ERRORS)
+                if transient and transient_left > 0:
+                    transient_left -= 1
+                elif now >= grace_deadline:
+                    raise
+                time.sleep(backoff.next_delay())
+
+    def _request_once(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> tuple[int, dict, dict]:
         conn = http.client.HTTPConnection(
@@ -301,10 +357,73 @@ class ServeClient:
             self._json("POST", f"/leases/{lease_id}/results", push.to_dict())
         )
 
+    def release(
+        self,
+        lease_id: str,
+        token: str,
+        spec_hashes: Sequence[str] = (),
+    ) -> ReleaseAck:
+        """Give unstarted leased cells back to the head's queue.
+
+        An empty ``spec_hashes`` releases every cell still on the
+        lease.  Used by a draining worker so its unfinished work is
+        re-queued immediately instead of waiting out the lease TTL.
+        """
+        request = LeaseRelease(token=token, spec_hashes=tuple(spec_hashes))
+        return ReleaseAck.from_dict(
+            self._json("POST", f"/leases/{lease_id}/release",
+                       request.to_dict())
+        )
+
     # -- event streaming -------------------------------------------------------
 
     def iter_events(self, job_id: str) -> Iterator[dict]:
-        """The job's NDJSON event stream, replayed then followed to the end."""
+        """The job's NDJSON event stream, replayed then followed to the end.
+
+        Survives a dropped stream: on a transient mid-stream reset (or
+        any connection failure within ``outage_grace_s``) the client
+        reconnects and — because the server replays the job's event log
+        from the start — skips the events it already yielded, so callers
+        see each event once.  A clean end-of-stream after a ``done``
+        event terminates the iterator.
+        """
+        yielded = 0
+        finished = False
+        transient_left = self.transient_retries
+        grace_deadline: Optional[float] = None
+        backoff = Backoff(base_s=0.05, cap_s=2.0, rng=self._rng)
+        while True:
+            exc: Optional[ServeConnectionError] = None
+            try:
+                for event in self._iter_events_once(job_id, skip=yielded):
+                    yielded += 1
+                    transient_left = self.transient_retries
+                    grace_deadline = None
+                    backoff.reset()
+                    if event.get("event") == "done":
+                        finished = True
+                    yield event
+            except ServeConnectionError as err:
+                exc = err
+            if finished:
+                return
+            now = time.monotonic()
+            if grace_deadline is None:
+                grace_deadline = now + self.outage_grace_s
+            transient = exc is not None and isinstance(
+                exc.__cause__, TRANSIENT_ERRORS
+            )
+            if transient and transient_left > 0:
+                transient_left -= 1
+            elif now < grace_deadline:
+                pass
+            elif exc is not None:
+                raise exc
+            else:
+                return  # clean EOF with no grace window: stream is over
+            time.sleep(backoff.next_delay())
+
+    def _iter_events_once(self, job_id: str, skip: int = 0) -> Iterator[dict]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
         )
@@ -328,13 +447,24 @@ class ServeClient:
                     dict(response.getheaders()),
                     json.loads(raw) if raw else {},
                 )
+            seen = 0
             while True:
-                line = response.readline()
+                try:
+                    line = response.readline()
+                except (ConnectionError, TimeoutError, OSError) as exc:
+                    raise ServeConnectionError(
+                        f"head {self.host}:{self.port} event stream "
+                        f"interrupted: {type(exc).__name__}: {exc}"
+                    ) from exc
                 if not line:
                     return
                 line = line.strip()
-                if line:
-                    yield json.loads(line)
+                if not line:
+                    continue
+                event = json.loads(line)
+                seen += 1
+                if seen > skip:
+                    yield event
         finally:
             conn.close()
 
@@ -365,12 +495,13 @@ class ServeClient:
                 attempt += 1
                 if attempt > max_retries:
                     raise
+                delay = jittered(busy.retry_after_s, rng=self._rng)
                 if progress is not None:
                     progress(
-                        f"server busy; retrying in {busy.retry_after_s:.1f}s "
+                        f"server busy; retrying in {delay:.1f}s "
                         f"({attempt}/{max_retries})"
                     )
-                time.sleep(busy.retry_after_s)
+                time.sleep(delay)
         job_id = snapshot.job_id
         if progress is not None:
             for event in self.iter_events(job_id):
@@ -390,19 +521,41 @@ class ServeClient:
 
 
 class AsyncServeClient:
-    """Asyncio client: one short-lived connection per request."""
+    """Asyncio client: one short-lived connection per request.
+
+    GETs retry transient transport resets (bounded), mirroring the
+    synchronous client; POSTs are never replayed.
+    """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 8731,
         tenant: str = "default",
+        transient_retries: int = 3,
     ):
         self.host = host
         self.port = port
         self.tenant = tenant
+        self.transient_retries = transient_retries
 
     async def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> tuple[int, dict]:
+        retries_left = self.transient_retries if method == "GET" else 0
+        backoff = Backoff(base_s=0.05, cap_s=2.0)
+        while True:
+            try:
+                return await self._request_once(method, path, payload)
+            except ServeConnectionError as exc:
+                if retries_left <= 0 or not isinstance(
+                    exc.__cause__, TRANSIENT_ERRORS
+                ):
+                    raise
+                retries_left -= 1
+                await asyncio.sleep(backoff.next_delay())
+
+    async def _request_once(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> tuple[int, dict]:
         try:

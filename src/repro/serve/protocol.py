@@ -16,8 +16,8 @@ per connection keeps the framing trivial and matches the clients' usage.
 dataclass carrying ``protocol_version`` (:data:`PROTOCOL_VERSION`):
 :class:`SubmitRequest`, :class:`JobSnapshot`, :class:`JobResults`,
 :class:`LeaseRequest`/:class:`LeaseGrant`, :class:`HeartbeatRequest`/
-:class:`HeartbeatAck`, :class:`ResultPush`/:class:`ResultAck`, and
-:class:`ErrorBody`.  ``from_dict`` on each of them calls
+:class:`HeartbeatAck`, :class:`ResultPush`/:class:`ResultAck`,
+:class:`LeaseRelease`/:class:`ReleaseAck`, and :class:`ErrorBody`.  ``from_dict`` on each of them calls
 :func:`check_version` first, so a head and a worker (or a client) built
 from different protocol revisions fail loudly with a structured
 ``protocol_mismatch`` error instead of silently misreading fields.
@@ -639,6 +639,61 @@ class ResultPush:
             token=data.get("token", ""),
             outcomes=tuple(CellOutcome.from_dict(item) for item in outcomes),
             worker_id=data.get("worker_id", ""),
+        )
+
+
+@dataclass(frozen=True)
+class LeaseRelease:
+    """``POST /leases/<id>/release`` body: give unstarted cells back.
+
+    A draining worker's graceful counterpart to lease expiry: the named
+    cells requeue immediately (no TTL wait) and the grant's charge
+    against their retry budget is refunded.  An empty ``spec_hashes``
+    releases every remaining cell of the lease.
+    """
+
+    token: str
+    spec_hashes: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return _versioned({
+            "token": self.token,
+            "spec_hashes": list(self.spec_hashes),
+        })
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LeaseRelease":
+        check_version(data)
+        token = data.get("token")
+        if not isinstance(token, str) or not token:
+            raise TypeError("'token' must be a non-empty string")
+        hashes = data.get("spec_hashes", [])
+        if not isinstance(hashes, list) or not all(
+            isinstance(item, str) for item in hashes
+        ):
+            raise TypeError("'spec_hashes' must be a list of strings")
+        return cls(token=token, spec_hashes=tuple(hashes))
+
+
+@dataclass(frozen=True)
+class ReleaseAck:
+    """Release response: cells requeued, and whether the lease survives."""
+
+    released: int
+    lease_open: bool
+
+    def to_dict(self) -> dict:
+        return _versioned({
+            "released": self.released,
+            "lease_open": self.lease_open,
+        })
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ReleaseAck":
+        check_version(data)
+        return cls(
+            released=data.get("released", 0),
+            lease_open=bool(data.get("lease_open", False)),
         )
 
 

@@ -32,6 +32,15 @@ async-submittable store:
   exhaustion into structured ``worker_lost`` failures, so a
   ``kill -9``-ed worker can never silently drop a cell.  ``workers=0``
   runs the store head-only: cells wait for remote leases.
+* **durability** — with a result cache attached, every submission,
+  lease grant, terminal fold, and failure resolution is appended to a
+  JSONL write-ahead log (:mod:`repro.serve.journal`) under the cache
+  root.  :meth:`JobStore.recover` (run automatically by :meth:`start`)
+  replays it after a head crash: resolved cells are re-served from the
+  content-addressed cache, unresolved cells requeued, and open leases
+  restored with their journaled tokens so in-flight workers neither
+  double-execute nor lose their late pushes.  ``journal=False`` opts
+  back into the purely in-memory store.
 
 Everything runs on one asyncio event loop; the only threads are the
 executor pool hosting the blocking per-cell worker processes
@@ -43,6 +52,8 @@ faster for tiny cells and the deterministic choice for tests.
 from __future__ import annotations
 
 import asyncio
+import os
+import re
 import secrets
 import time
 from collections import deque
@@ -58,6 +69,7 @@ from repro.experiments.orchestrator import (
     execute_cell,
 )
 from repro.experiments.spec import SimSpec, run_spec
+from repro.serve.journal import JOURNAL_NAME, Journal
 
 #: Cell origins: how a delivered result was produced.
 ORIGIN_CACHED = "cached"        # satisfied from the on-disk cache at submit
@@ -279,6 +291,7 @@ class JobStore:
         runner: Optional[Callable[[SimSpec], RunStats]] = None,
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         worker_retries: int = 1,
+        journal: bool = True,
     ):
         if executor not in ("process", "inline"):
             raise ValueError(
@@ -309,7 +322,16 @@ class JobStore:
         self._running = False
         self._job_counter = 0
         self._lease_counter = 0
-        self.totals = {
+        #: The durable WAL (only with a cache: stats live in its artifacts).
+        self._journal: Optional[Journal] = None
+        self._journal_enabled = journal and self.cache is not None
+        self._recovering = False
+        self._recovered = False
+        self.totals = self._zero_totals()
+
+    @staticmethod
+    def _zero_totals() -> dict:
+        return {
             "jobs_submitted": 0,
             "jobs_done": 0,
             "submissions_rejected": 0,
@@ -320,9 +342,13 @@ class JobStore:
             "cells_failed": 0,
             "cells_remote": 0,
             "cells_requeued": 0,
+            "cells_released": 0,
             "leases_granted": 0,
             "leases_reaped": 0,
             "results_stale": 0,
+            "jobs_recovered": 0,
+            "cells_requeued_on_recovery": 0,
+            "leases_restored": 0,
             "failure_kinds": {},
         }
 
@@ -336,6 +362,9 @@ class JobStore:
         if self._running:
             return self
         self._running = True
+        if self._journal_enabled and not self._recovered:
+            self.recover()
+            self.compact_journal()
         if self.workers > 0:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-serve"
@@ -363,6 +392,425 @@ class JobStore:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._journal is not None:
+            self._journal.close()
+
+    # -- durability ------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> Optional[str]:
+        """Where the WAL lives (under the cache root), or None if disabled."""
+        if not self._journal_enabled or self.cache is None:
+            return None
+        return os.path.join(self.cache.root, JOURNAL_NAME)
+
+    def _journal_append(self, *records: dict) -> None:
+        if self._journal is not None and not self._recovering:
+            self._journal.append(*records)
+
+    def _journal_lease_closed(self, lease_id: str) -> None:
+        self._journal_append({"rec": "lease_closed", "lease_id": lease_id})
+
+    @staticmethod
+    def _merge_totals(target: dict, source: dict) -> None:
+        for key, value in source.items():
+            if key == "failure_kinds" and isinstance(value, dict):
+                kinds = target.setdefault("failure_kinds", {})
+                for kind, count in value.items():
+                    kinds[kind] = kinds.get(kind, 0) + int(count)
+            elif isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                target[key] = target.get(key, 0) + value
+
+    _ORIGIN_TOTALS = {
+        ORIGIN_CACHED: "cells_cached",
+        ORIGIN_SIMULATED: "cells_simulated",
+        ORIGIN_DEDUPED: "cells_deduped",
+    }
+
+    def recover(self) -> dict:
+        """Rebuild the store's state from the journal (head failover).
+
+        Replays every journaled record into a *fresh* in-memory state:
+        jobs are re-registered under their original ids, resolved cells
+        are re-served from the content-addressed cache (a resolve whose
+        artifact went missing is requeued instead — never trusted
+        blindly), unresolved cells re-enter their tenants' queues with
+        their ``worker_attempts`` budgets intact, and open leases are
+        restored with their journaled tokens and a fresh full TTL — so
+        a fast head restart neither double-executes a slow worker's
+        batch nor rejects its late pushes.  ``/stats`` totals are
+        rebuilt cumulatively (compaction baselines included), so
+        counters like ``cells_simulated`` keep meaning "ever" across
+        restarts.
+
+        Replay starts from scratch every call, which makes it
+        idempotent: recovering twice — or from a journal with
+        duplicated records or a torn tail — lands in the same state as
+        recovering once.  Returns the recovery counters (also surfaced
+        in ``/stats``).
+        """
+        empty = {
+            "jobs_recovered": 0,
+            "cells_requeued_on_recovery": 0,
+            "leases_restored": 0,
+        }
+        if not self._journal_enabled or self.cache is None:
+            return empty
+        if self._journal is None:
+            self._journal = Journal(self.journal_path)
+        records = self._journal.load()
+        self._recovered = True
+        # Reset every replayable piece of state: recovery is a startup
+        # operation that rebuilds from scratch (that is what makes it
+        # idempotent), not an incremental merge into live state.
+        self._jobs.clear()
+        self._inflight.clear()
+        self._queues.clear()
+        self._tenant_order.clear()
+        self._leases.clear()
+        self.totals = self._zero_totals()
+        if not records:
+            return empty
+        self._recovering = True
+        try:
+            counters = self._replay(records)
+        finally:
+            self._recovering = False
+        for key, value in counters.items():
+            self.totals[key] = value
+        return counters
+
+    def _replay(self, records: Sequence[dict]) -> dict:
+        # Pass 1: sort the log into per-kind views (last duplicate wins
+        # for jobs/leases; resolves stay ordered).
+        job_records: dict[str, dict] = {}
+        resolves: list[dict] = []
+        lease_records: dict[str, dict] = {}
+        closed: set[str] = set()
+        released: set[tuple[str, str]] = set()  # (lease_id, spec_hash)
+        attempt_floors: dict[str, int] = {}
+        totals_merged = False
+        for record in records:
+            kind = record.get("rec")
+            if kind == "totals":
+                # Compaction writes exactly one baseline; any further
+                # copy is a duplicated record and must not double it.
+                if not totals_merged:
+                    self._merge_totals(
+                        self.totals, record.get("totals") or {}
+                    )
+                    totals_merged = True
+            elif kind == "job":
+                if record.get("job_id") and isinstance(
+                    record.get("specs"), list
+                ):
+                    job_records[record["job_id"]] = record
+            elif kind == "resolve":
+                resolves.append(record)
+            elif kind == "lease":
+                if record.get("lease_id"):
+                    lease_records[record["lease_id"]] = record
+            elif kind == "lease_closed":
+                closed.add(record.get("lease_id"))
+            elif kind == "release":
+                # Keyed by (lease, hash): a lease can only release a
+                # cell once, so duplicated records collapse here.
+                for spec_hash in record.get("spec_hashes") or ():
+                    released.add((record.get("lease_id"), spec_hash))
+            elif kind == "attempts":
+                for spec_hash, count in (record.get("cells") or {}).items():
+                    attempt_floors[spec_hash] = max(
+                        attempt_floors.get(spec_hash, 0), int(count)
+                    )
+            # unknown record kinds are skipped (forward compatibility)
+
+        # Pass 2: rebuild jobs under their original ids.
+        for job_id, record in job_records.items():
+            try:
+                specs = [
+                    SimSpec.from_dict(item) for item in record["specs"]
+                ]
+            except (KeyError, TypeError, ValueError):
+                continue  # unreadable job record: drop the whole job
+            job = Job(job_id, record.get("tenant") or "default", specs)
+            job.created_at = record.get("created_at", job.created_at)
+            self._jobs[job_id] = job
+            self.totals["jobs_submitted"] += 1
+            job.emit({
+                "event": "job",
+                "job_id": job_id,
+                "tenant": job.tenant,
+                "cells": len(job.cells),
+                "recovered": True,
+            })
+
+        # Pass 3: apply terminal folds; stats come from the cache, and a
+        # missing artifact leaves the cell unresolved (requeued below).
+        for record in resolves:
+            ok = bool(record.get("ok"))
+            error = record.get("error")
+            if not ok and not isinstance(error, dict):
+                error = {
+                    "kind": "error",
+                    "message": "journaled failure with no error body",
+                    "attempts": 1,
+                }
+            stats: Optional[RunStats] = None
+            counted_remote = False
+            for ref in record.get("cells") or ():
+                job = self._jobs.get(ref.get("job"))
+                index = ref.get("index")
+                if (
+                    job is None
+                    or not isinstance(index, int)
+                    or not 0 <= index < len(job.cells)
+                ):
+                    continue
+                cell = job.cells[index]
+                if cell.state in ("done", "failed"):
+                    continue  # duplicate record: replay stays idempotent
+                if ok:
+                    if stats is None:
+                        stats = self.cache.get(cell.spec)
+                    if stats is None:
+                        continue  # artifact lost: re-execute instead
+                    cell.state = "done"
+                    cell.origin = ref.get("origin") or ORIGIN_DEDUPED
+                    cell.stats = stats
+                    if ref.get("worker"):
+                        cell.worker = ref["worker"]
+                    self.totals[
+                        self._ORIGIN_TOTALS.get(cell.origin, "cells_deduped")
+                    ] += 1
+                    self.totals["cells_delivered"] += 1
+                else:
+                    cell.state = "failed"
+                    cell.error = dict(error)
+                    kind = cell.error.get("kind", "error")
+                    job.failure_kinds[kind] = (
+                        job.failure_kinds.get(kind, 0) + 1
+                    )
+                    kinds = self.totals["failure_kinds"]
+                    kinds[kind] = kinds.get(kind, 0) + 1
+                    self.totals["cells_failed"] += 1
+                job.emit(job._cell_event(cell))
+                if record.get("remote") and not counted_remote:
+                    self.totals["cells_remote"] += 1
+                    counted_remote = True
+
+        # Pass 4: per-hash retry budgets — one attempt per granted lease,
+        # minus graceful releases, floored by compaction snapshots.
+        attempts: dict[str, int] = {}
+        for record in lease_records.values():
+            self.totals["leases_granted"] += 1
+            for spec_hash in record.get("cells") or {}:
+                attempts[spec_hash] = attempts.get(spec_hash, 0) + 1
+        for __, spec_hash in released:
+            attempts[spec_hash] = max(0, attempts.get(spec_hash, 0) - 1)
+        # Compaction folds dropped release records into its baseline, so
+        # counting the journaled ones here keeps the total cumulative.
+        self.totals["cells_released"] += len(released)
+        for spec_hash, floor in attempt_floors.items():
+            attempts[spec_hash] = max(attempts.get(spec_hash, 0), floor)
+
+        leased_hashes: dict[str, str] = {}
+        for lease_id, record in lease_records.items():
+            if lease_id in closed:
+                continue
+            for spec_hash in record.get("cells") or {}:
+                leased_hashes[spec_hash] = lease_id
+
+        # Pass 5: unresolved cells -> in-flight entries; cells of an open
+        # lease stay leased (fresh full TTL), the rest are requeued.
+        requeued = 0
+        restored: dict[str, Lease] = {}
+        for job in self._jobs.values():
+            for cell in job.cells:
+                if cell.state in ("done", "failed"):
+                    continue
+                entry = self._inflight.get(cell.spec_hash)
+                if entry is None:
+                    entry = _InFlight(
+                        spec=cell.spec,
+                        spec_hash=cell.spec_hash,
+                        tenant=job.tenant,
+                    )
+                    entry.worker_attempts = attempts.get(cell.spec_hash, 0)
+                    self._inflight[cell.spec_hash] = entry
+                    lease_id = leased_hashes.get(cell.spec_hash)
+                    if lease_id is not None:
+                        lease = restored.get(lease_id)
+                        if lease is None:
+                            record = lease_records[lease_id]
+                            ttl_s = float(
+                                record.get("ttl_s") or self.lease_ttl_s
+                            )
+                            lease = restored[lease_id] = Lease(
+                                lease_id=lease_id,
+                                token=str(record.get("token") or ""),
+                                worker_id=str(record.get("worker_id") or ""),
+                                ttl_s=ttl_s,
+                                deadline=time.monotonic() + ttl_s,
+                            )
+                        lease.entries[cell.spec_hash] = entry
+                    else:
+                        self._enqueue(job.tenant, entry)
+                        requeued += 1
+                entry.subscribers.append((job, cell.index))
+        for lease in restored.values():
+            self._leases[lease.lease_id] = lease
+            for entry in lease.entries.values():
+                for job, index in entry.subscribers:
+                    cell = job.cells[index]
+                    cell.state = "running"
+                    cell.worker = lease.worker_id
+                    job.emit(job._cell_event(cell))
+
+        # Pass 6: restore id counters past everything journaled, close
+        # out fully-resolved jobs, and report.
+        for job_id in self._jobs:
+            match = re.match(r"j(\d+)-", job_id)
+            if match:
+                self._job_counter = max(
+                    self._job_counter, int(match.group(1))
+                )
+        for lease_id in lease_records:
+            match = re.match(r"l(\d+)-", lease_id)
+            if match:
+                self._lease_counter = max(
+                    self._lease_counter, int(match.group(1))
+                )
+        for job in self._jobs.values():
+            job._maybe_finish()
+            if job.is_done:
+                self.totals["jobs_done"] += 1
+        return {
+            "jobs_recovered": len(self._jobs),
+            "cells_requeued_on_recovery": requeued,
+            "leases_restored": len(restored),
+        }
+
+    def compact_journal(self) -> int:
+        """Rewrite the journal without fully-resolved jobs.
+
+        The dropped records' counter contributions are folded into one
+        leading ``totals`` baseline record, so recovery after compaction
+        reports the same cumulative ``/stats`` totals.  Open jobs keep a
+        job record plus grouped resolve records for their terminal
+        cells; open leases keep their grant records (tokens included);
+        queued cells with a spent retry budget keep it via an
+        ``attempts`` record.  Returns the number of records written.
+        """
+        if self._journal is None:
+            return 0
+        baseline = {
+            key: (dict(value) if isinstance(value, dict) else value)
+            for key, value in self.totals.items()
+        }
+        # Recovery counters describe the last recovery, not history.
+        for key in (
+            "jobs_recovered", "cells_requeued_on_recovery", "leases_restored"
+        ):
+            baseline[key] = 0
+        kept_jobs = [job for job in self._jobs.values() if not job.is_done]
+        baseline["jobs_submitted"] -= len(kept_jobs)
+
+        records: list[dict] = []
+        for job in kept_jobs:
+            records.append({
+                "rec": "job",
+                "job_id": job.job_id,
+                "tenant": job.tenant,
+                "created_at": job.created_at,
+                "specs": [cell.spec.to_dict() for cell in job.cells],
+            })
+        by_hash: dict[str, dict] = {}
+        for job in kept_jobs:
+            for cell in job.cells:
+                if cell.state == "done":
+                    baseline["cells_delivered"] -= 1
+                    baseline[
+                        self._ORIGIN_TOTALS.get(cell.origin, "cells_deduped")
+                    ] -= 1
+                elif cell.state == "failed":
+                    baseline["cells_failed"] -= 1
+                    kind = (cell.error or {}).get("kind", "error")
+                    kinds = baseline["failure_kinds"]
+                    kinds[kind] = kinds.get(kind, 0) - 1
+                else:
+                    continue
+                record = by_hash.get(cell.spec_hash)
+                if record is None:
+                    record = by_hash[cell.spec_hash] = {
+                        "rec": "resolve",
+                        "spec_hash": cell.spec_hash,
+                        "ok": cell.state == "done",
+                        "cells": [],
+                    }
+                    if cell.state == "failed" and cell.error is not None:
+                        record["error"] = dict(cell.error)
+                ref = {
+                    "job": job.job_id,
+                    "index": cell.index,
+                    "origin": cell.origin,
+                }
+                if cell.worker:
+                    ref["worker"] = cell.worker
+                record["cells"].append(ref)
+        for record in by_hash.values():
+            if any(ref.get("worker") for ref in record["cells"]):
+                record["remote"] = True
+                baseline["cells_remote"] -= 1
+        records.extend(by_hash.values())
+
+        open_leases = [
+            lease for lease in self._leases.values() if lease.entries
+        ]
+        baseline["leases_granted"] -= len(open_leases)
+        leased = set()
+        for lease in open_leases:
+            records.append({
+                "rec": "lease",
+                "lease_id": lease.lease_id,
+                "token": lease.token,
+                "worker_id": lease.worker_id,
+                "ttl_s": lease.ttl_s,
+                "cells": {
+                    spec_hash: entry.worker_attempts
+                    for spec_hash, entry in lease.entries.items()
+                },
+            })
+            leased.update(lease.entries)
+        spent = {
+            spec_hash: entry.worker_attempts
+            for spec_hash, entry in self._inflight.items()
+            if entry.worker_attempts > 0 and spec_hash not in leased
+        }
+        if spent:
+            records.append({"rec": "attempts", "cells": spent})
+
+        for key, value in list(baseline.items()):
+            if (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and value < 0
+            ):
+                baseline[key] = 0
+        baseline["failure_kinds"] = {
+            kind: count
+            for kind, count in baseline["failure_kinds"].items()
+            if count > 0
+        }
+        out: list[dict] = []
+        if any(
+            value for key, value in baseline.items() if key != "failure_kinds"
+        ) or baseline["failure_kinds"]:
+            out.append({"rec": "totals", "totals": baseline})
+        out.extend(records)
+        self._journal.rewrite(out)
+        return len(out)
 
     # -- submission ------------------------------------------------------------
 
@@ -445,6 +893,36 @@ class JobStore:
             entry.subscribers.extend((job, cell.index) for cell in cells)
             self._inflight[spec_hash] = entry
             self._enqueue(tenant, entry)
+        # Fully cache-hit grids are done before the 202 returns: there is
+        # nothing to recover (the content-addressed cache IS their
+        # durability) and compaction would drop them at the next boot
+        # anyway, so skip the WAL — this keeps the warm submit path as
+        # fast as an in-memory store.
+        journal_worthy = bool(fresh or subscribe)
+        if journal_worthy and self._journal is not None \
+                and not self._recovering:
+            records = [{
+                "rec": "job",
+                "job_id": job.job_id,
+                "tenant": tenant,
+                "created_at": job.created_at,
+                "specs": [cell.spec.to_dict() for cell in job.cells],
+            }]
+            hits: dict[str, dict] = {}
+            for cell, __ in cached:
+                record = hits.setdefault(cell.spec_hash, {
+                    "rec": "resolve",
+                    "spec_hash": cell.spec_hash,
+                    "ok": True,
+                    "cells": [],
+                })
+                record["cells"].append({
+                    "job": job.job_id,
+                    "index": cell.index,
+                    "origin": ORIGIN_CACHED,
+                })
+            records.extend(hits.values())
+            self._journal.append(*records)
         job._maybe_finish()  # fully cache-hit grids complete immediately
         if job.is_done:
             self.totals["jobs_done"] += 1
@@ -522,6 +1000,19 @@ class JobStore:
                 job.emit(job._cell_event(cell))
         self._leases[lease.lease_id] = lease
         self.totals["leases_granted"] += 1
+        # Journaling the token lets a restarted head restore the lease
+        # and accept this worker's pushes as if nothing happened.
+        self._journal_append({
+            "rec": "lease",
+            "lease_id": lease.lease_id,
+            "token": lease.token,
+            "worker_id": worker_id,
+            "ttl_s": lease.ttl_s,
+            "cells": {
+                spec_hash: entry.worker_attempts
+                for spec_hash, entry in lease.entries.items()
+            },
+        })
         return lease
 
     def _check_lease(self, lease_id: str, token: str) -> Lease:
@@ -567,6 +1058,7 @@ class JobStore:
             lease.deadline = time.monotonic() + lease.ttl_s
             if not lease.entries:
                 del self._leases[lease.lease_id]
+                self._journal_lease_closed(lease.lease_id)
                 lease = None
         return {
             "accepted": accepted,
@@ -599,7 +1091,7 @@ class JobStore:
         if outcome.get("simulated", True) and error is None:
             for job, index in entry.subscribers:
                 job.cells[index].worker = worker_id or None
-        self._resolve(entry, stats, error)
+        self._resolve(entry, stats, error, remote=True)
         return True
 
     def _remove_queued(self, entry: _InFlight) -> None:
@@ -614,6 +1106,54 @@ class JobStore:
         if not queue:
             del self._queues[entry.tenant]
             self._tenant_order.remove(entry.tenant)
+
+    def release_cells(
+        self,
+        lease_id: str,
+        token: str,
+        spec_hashes: Optional[Sequence[str]] = None,
+    ) -> dict:
+        """Give unstarted cells of a live lease back to the head.
+
+        The graceful-drain counterpart of :meth:`reap_expired`: a worker
+        shutting down cleanly releases the cells it never started, which
+        requeues them immediately (no TTL wait) and *refunds* the
+        ``worker_attempts`` the grant charged — a drained worker must
+        not burn a cell's retry budget.  ``spec_hashes=None`` releases
+        every remaining cell of the lease.  Raises
+        :class:`UnknownLeaseError` for a dead lease or a bad token.
+        """
+        lease = self._check_lease(lease_id, token)
+        hashes = (
+            list(lease.entries)
+            if spec_hashes is None
+            else list(spec_hashes)
+        )
+        released: list[str] = []
+        for spec_hash in hashes:
+            entry = lease.entries.pop(spec_hash, None)
+            if entry is None or spec_hash not in self._inflight:
+                continue
+            entry.worker_attempts = max(0, entry.worker_attempts - 1)
+            for job, index in entry.subscribers:
+                cell = job.cells[index]
+                cell.state = "queued"
+                cell.worker = None
+                job.emit(job._cell_event(cell))
+            self._enqueue(entry.tenant, entry)
+            released.append(spec_hash)
+            self.totals["cells_released"] += 1
+        if released:
+            self._journal_append({
+                "rec": "release",
+                "lease_id": lease_id,
+                "spec_hashes": released,
+            })
+        lease_open = bool(lease.entries)
+        if not lease_open:
+            del self._leases[lease_id]
+            self._journal_lease_closed(lease_id)
+        return {"released": len(released), "lease_open": lease_open}
 
     def reap_expired(self, now: Optional[float] = None) -> int:
         """Requeue (or fail) the cells of every lease past its deadline.
@@ -632,6 +1172,7 @@ class JobStore:
         ]:
             lease = self._leases.pop(lease_id)
             self.totals["leases_reaped"] += 1
+            self._journal_lease_closed(lease_id)
             for entry in lease.entries.values():
                 if entry.spec_hash not in self._inflight:
                     continue  # resolved by a late push; nothing to redo
@@ -718,6 +1259,7 @@ class JobStore:
         entry: _InFlight,
         stats: Optional[RunStats],
         error: Optional[dict],
+        remote: bool = False,
     ) -> None:
         for position, (job, index) in enumerate(entry.subscribers):
             cell = job.cells[index]
@@ -745,6 +1287,28 @@ class JobStore:
                 job._maybe_finish()
                 if job.is_done:
                     self.totals["jobs_done"] += 1
+        if self._journal is not None and not self._recovering:
+            record: dict = {
+                "rec": "resolve",
+                "spec_hash": entry.spec_hash,
+                "ok": error is None,
+                "cells": [],
+            }
+            for job, index in entry.subscribers:
+                cell = job.cells[index]
+                ref = {
+                    "job": job.job_id,
+                    "index": index,
+                    "origin": cell.origin,
+                }
+                if cell.worker:
+                    ref["worker"] = cell.worker
+                record["cells"].append(ref)
+            if error is not None:
+                record["error"] = dict(error)
+            if remote:
+                record["remote"] = True
+            self._journal.append(record)
 
     # -- introspection ---------------------------------------------------------
 
@@ -764,4 +1328,6 @@ class JobStore:
             "lease_ttl_s": self.lease_ttl_s,
             "worker_retries": self.worker_retries,
             "cache_enabled": self.cache is not None,
+            "journal_enabled": self._journal_enabled,
+            "journal_path": self.journal_path,
         }

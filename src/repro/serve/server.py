@@ -18,6 +18,8 @@ small and stdlib-only:
 ``POST /leases/<id>/heartbeat`` extend the lease -> :class:`HeartbeatAck`
 ``POST /leases/<id>/results``   push outcomes (:class:`ResultPush`) ->
                                 :class:`ResultAck`
+``POST /leases/<id>/release``   drain: give unstarted cells back
+                                (:class:`LeaseRelease`) -> :class:`ReleaseAck`
 ==============================  ================================================
 
 Request/response bodies are the frozen dataclasses of
@@ -56,10 +58,12 @@ from repro.serve.protocol import (
     HeartbeatRequest,
     LeaseCell,
     LeaseGrant,
+    LeaseRelease,
     LeaseRequest,
     JobResults,
     JobSnapshot,
     ProtocolError,
+    ReleaseAck,
     Request,
     ResultAck,
     ResultPush,
@@ -333,6 +337,8 @@ class SweepServer:
             return self._heartbeat(request, writer, segments[1])
         if len(segments) == 3 and segments[2] == "results":
             return self._push_results(request, writer, segments[1])
+        if len(segments) == 3 and segments[2] == "release":
+            return self._release(request, writer, segments[1])
         self._reply(writer, 404, ErrorBody(
             kind="not_found", message=f"no lease route {request.path!r}"
         ).to_dict())
@@ -410,6 +416,24 @@ class SweepServer:
                 kind="unknown_lease", message=str(exc)
             ).to_dict())
         self._reply(writer, 200, ResultAck(**outcome).to_dict())
+
+    def _release(
+        self, request: Request, writer: asyncio.StreamWriter, lease_id: str
+    ) -> None:
+        release, error = self._parse_body(request, LeaseRelease)
+        if release is None:
+            return self._reply(writer, 400, error.to_dict())
+        try:
+            outcome = self.store.release_cells(
+                lease_id,
+                release.token,
+                spec_hashes=release.spec_hashes or None,
+            )
+        except UnknownLeaseError as exc:
+            return self._reply(writer, 404, ErrorBody(
+                kind="unknown_lease", message=str(exc)
+            ).to_dict())
+        self._reply(writer, 200, ReleaseAck(**outcome).to_dict())
 
 
 async def serve_forever(

@@ -19,6 +19,7 @@ from repro.experiments.spec import SimSpec
 from repro.serve.client import (
     ProtocolMismatch,
     ServeClient,
+    ServeConnectionError,
     ServeError,
     ServerBusy,
     UnknownResourceError,
@@ -327,3 +328,100 @@ class TestCliAgainstServer:
         totals = live_server.client().stats()
         assert totals["jobs_submitted"] == 1
         assert totals["cells_simulated"] == 1
+
+
+class TestClientRetries:
+    def test_idempotent_get_survives_transient_reset(
+        self, stub_server_factory
+    ):
+        """A GET that dies mid-exchange is replayed, invisibly."""
+        server = stub_server_factory(workers=1, runner=fake_stats)
+        client = server.client()
+        orig = client._request_once
+        calls = {"n": 0}
+
+        def flaky(method, path, payload=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                exc = ServeConnectionError("reset mid-exchange")
+                exc.__cause__ = ConnectionResetError("peer reset")
+                raise exc
+            return orig(method, path, payload)
+
+        client._request_once = flaky
+        stats = client.stats()
+        assert stats["jobs_submitted"] == 0
+        assert calls["n"] == 2  # one failure, one replay
+
+    def test_non_idempotent_post_is_not_replayed(self, stub_server_factory):
+        """A submit must never be blindly replayed — it is not idempotent."""
+        server = stub_server_factory(workers=1, runner=fake_stats)
+        client = server.client()
+        calls = {"n": 0}
+
+        def always_reset(method, path, payload=None):
+            calls["n"] += 1
+            exc = ServeConnectionError("reset mid-exchange")
+            exc.__cause__ = ConnectionResetError("peer reset")
+            raise exc
+
+        client._request_once = always_reset
+        with pytest.raises(ServeConnectionError):
+            client.submit([make_spec()])
+        assert calls["n"] == 1
+
+    def test_outage_grace_rides_out_a_refused_head(self, stub_server_factory):
+        """With outage_grace_s, even refused connections (head restarting,
+        not just a dropped socket) are retried until the head answers."""
+        server = stub_server_factory(workers=1, runner=fake_stats)
+        client = ServeClient(
+            port=server.port, tenant="default",
+            timeout_s=60.0, outage_grace_s=10.0,
+        )
+        orig = client._request_once
+        calls = {"n": 0}
+
+        def refused_twice(method, path, payload=None):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                exc = ServeConnectionError("head unreachable")
+                exc.__cause__ = ConnectionRefusedError("refused")
+                raise exc
+            return orig(method, path, payload)
+
+        client._request_once = refused_twice
+        assert client.stats()["jobs_submitted"] == 0
+        assert calls["n"] == 3
+
+    def test_iter_events_resumes_mid_stream_without_duplicates(
+        self, stub_server_factory
+    ):
+        """A dropped event stream reconnects and skips what it yielded."""
+        server = stub_server_factory(workers=1, runner=fake_stats)
+        reference = server.client()
+        job_id = reference.submit(
+            [make_spec(), make_spec(benchmark="swim")]
+        ).job_id
+        reference.wait(job_id)
+        baseline = list(reference.iter_events(job_id))
+        assert len(baseline) >= 4  # job + cells + done
+
+        client = server.client()
+        orig = client._iter_events_once
+        state = {"streams": 0}
+
+        def interrupted(job_id_, skip=0):
+            state["streams"] += 1
+            inner = orig(job_id_, skip=skip)
+            if state["streams"] == 1:
+                yield next(inner)  # one event, then the stream dies
+                exc = ServeConnectionError("event stream interrupted")
+                exc.__cause__ = ConnectionResetError("peer reset")
+                raise exc
+            yield from inner
+
+        client._iter_events_once = interrupted
+        events = list(client.iter_events(job_id))
+        assert state["streams"] == 2  # reconnected exactly once
+        assert events == baseline  # nothing lost, nothing duplicated
+        assert sum(1 for e in events if e["event"] == "done") == 1

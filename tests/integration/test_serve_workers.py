@@ -327,6 +327,247 @@ class TestWorkerFailover:
             server.stop()
 
 
+class _CrashingHeartbeatClient(ServeClient):
+    """Heartbeats raise a bare (non-Serve) exception — the bug class the
+    heartbeat loop must survive instead of dying silently."""
+
+    def heartbeat(self, lease_id, token):
+        raise RuntimeError("heartbeat thread bug")
+
+
+class TestHeartbeatResilience:
+    def test_heartbeat_crash_marks_lease_at_risk(self):
+        """A crashing heartbeat thread must record the error, stop the
+        batch from expanding, and release unstarted cells for an early
+        re-lease — not die silently and leave the lease to rot."""
+        # TTL 6s: the reaper cannot help here — any requeue within the
+        # test window must come from the early-release path.
+        server = LiveServer(
+            workers=0, use_cache=False, lease_ttl_s=6.0, worker_retries=3
+        ).start()
+        try:
+            gate = threading.Event()
+            runner = RecordingRunner(gate=gate)
+            node = WorkerNode(
+                f"http://127.0.0.1:{server.port}",
+                worker_id="flaky-beat",
+                jobs=1,
+                lease_cells=4,
+                poll_s=0.05,
+                use_cache=False,
+                runner=runner,
+                client=_CrashingHeartbeatClient(
+                    port=server.port, tenant="worker", timeout_s=60.0
+                ),
+            )
+            thread = threading.Thread(target=node.run, daemon=True)
+            client = server.client()
+            snapshot = client.submit(make_grid())
+            thread.start()
+            try:
+                # The first beat fires while cell 1 is gated mid-run.
+                wait_for(
+                    lambda: node.counters["heartbeat_errors"] >= 1,
+                    what="the heartbeat crash to be recorded",
+                )
+                gate.set()
+                results = client.wait(snapshot.job_id)
+            finally:
+                gate.set()
+                node.stop()
+                thread.join(timeout=10.0)
+
+            assert results.snapshot.failed == 0
+            assert len(results.results) == 4
+            assert node.counters["heartbeat_errors"] >= 1
+            # The at-risk batch gave its unstarted cells back early ...
+            assert node.counters["cells_released"] >= 1
+            totals = client.stats()
+            assert totals["cells_released"] >= 1
+            assert totals["leases_reaped"] == 0
+            # ... and nothing was executed twice after the re-lease.
+            simulated = [spec.spec_hash() for spec in runner.specs]
+            assert sorted(simulated) == sorted(
+                spec.spec_hash() for spec in make_grid()
+            )
+        finally:
+            server.stop()
+
+
+class TestGracefulDrain:
+    def test_drain_pushes_inflight_and_releases_rest(self, tmp_path):
+        """drain(): in-flight cells finish and push; unstarted cells go
+        back via POST /leases/<id>/release, not by waiting out the TTL."""
+        server = LiveServer(
+            workers=0, use_cache=False, lease_ttl_s=30.0, worker_retries=3
+        ).start()
+        try:
+            gate = threading.Event()
+            node = WorkerNode(
+                f"http://127.0.0.1:{server.port}",
+                worker_id="draining",
+                jobs=1,
+                lease_cells=4,
+                poll_s=0.05,
+                use_cache=False,
+                runner=RecordingRunner(gate=gate),
+            )
+            thread = threading.Thread(target=node.run, daemon=True)
+            client = server.client()
+            snapshot = client.submit(make_grid())
+            thread.start()
+            try:
+                wait_for(
+                    lambda: client.stats()["leases_granted"] >= 1,
+                    what="the worker to lease the grid",
+                )
+                node.drain()
+                gate.set()
+                thread.join(timeout=10.0)
+                assert not thread.is_alive()
+            finally:
+                gate.set()
+                node.stop()
+                thread.join(timeout=10.0)
+
+            # Every leased cell was either pushed or released — none
+            # left to the 30s lease TTL.
+            done = node.counters["cells_done"]
+            released = node.counters["cells_released"]
+            assert done >= 1
+            assert released >= 1
+            assert done + released == 4
+            totals = client.stats()
+            assert totals["cells_released"] == released
+            assert totals["leases_reaped"] == 0
+            assert totals["pending_cells"] == released  # requeued now
+
+            # A rescue worker finishes the requeued cells immediately.
+            rescue = WorkerNode(
+                f"http://127.0.0.1:{server.port}",
+                worker_id="rescue",
+                jobs=2,
+                lease_cells=8,
+                poll_s=0.05,
+                use_cache=False,
+                runner=RecordingRunner(),
+            )
+            rescue_thread = threading.Thread(target=rescue.run, daemon=True)
+            rescue_thread.start()
+            try:
+                results = client.wait(snapshot.job_id)
+            finally:
+                rescue.stop()
+                rescue_thread.join(timeout=10.0)
+            assert results.snapshot.failed == 0
+            assert len(results.results) == 4
+            assert client.stats()["leases_reaped"] == 0
+        finally:
+            server.stop()
+
+    def test_drain_on_idle_exits_on_its_own(self, head):
+        """drain_on_idle: the worker exits after the head runs dry."""
+        runner = RecordingRunner()
+        node = WorkerNode(
+            f"http://127.0.0.1:{head.port}",
+            worker_id="lazy",
+            jobs=2,
+            lease_cells=8,
+            poll_s=0.05,
+            drain_on_idle=0.2,
+            use_cache=False,
+            runner=runner,
+        )
+        client = head.client()
+        snapshot = client.submit(make_grid())
+        thread = threading.Thread(target=node.run, daemon=True)
+        thread.start()
+        thread.join(timeout=15.0)
+        assert not thread.is_alive()  # exited without stop()/drain()
+        results = client.wait(snapshot.job_id)
+        assert results.snapshot.failed == 0
+        assert node.counters["cells_done"] == 4
+
+
+def _sigterm_worker_main(port: int) -> None:
+    """Subprocess body: slow cells, default SIGTERM handler = drain."""
+    from repro.serve.worker import run_worker
+
+    def slow(spec):
+        time.sleep(0.6)
+        return fake_stats(spec)
+
+    run_worker(
+        f"http://127.0.0.1:{port}",
+        worker_id="terminated",
+        jobs=1,
+        lease_cells=8,
+        poll_s=0.05,
+        use_cache=False,
+        head_outage_grace=5.0,
+        runner=slow,
+    )
+
+
+class TestSigtermDrain:
+    def test_sigterm_finishes_inflight_and_releases(self):
+        """kill -TERM mid-batch: the process finishes the running cell,
+        pushes it, releases the unstarted rest, and exits 0."""
+        server = LiveServer(
+            workers=0, use_cache=False, lease_ttl_s=30.0, worker_retries=3
+        ).start()
+        try:
+            client = server.client()
+            snapshot = client.submit(make_grid())
+
+            ctx = multiprocessing.get_context("fork")
+            proc = ctx.Process(
+                target=_sigterm_worker_main, args=(server.port,), daemon=True
+            )
+            proc.start()
+            try:
+                wait_for(
+                    lambda: client.stats()["leases_granted"] >= 1,
+                    what="the doomed worker to lease the grid",
+                )
+                os.kill(proc.pid, signal.SIGTERM)
+                proc.join(timeout=15.0)
+                assert proc.exitcode == 0  # graceful drain, not a crash
+            finally:
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=10.0)
+
+            totals = client.stats()
+            assert totals["cells_delivered"] >= 1  # in-flight cell pushed
+            assert totals["cells_released"] >= 1  # the rest given back
+            assert totals["leases_reaped"] == 0  # released, not expired
+            assert (
+                totals["cells_delivered"] + totals["pending_cells"] == 4
+            )
+
+            rescue = WorkerNode(
+                f"http://127.0.0.1:{server.port}",
+                worker_id="rescue",
+                jobs=2,
+                lease_cells=8,
+                poll_s=0.05,
+                use_cache=False,
+                runner=RecordingRunner(),
+            )
+            thread = threading.Thread(target=rescue.run, daemon=True)
+            thread.start()
+            try:
+                results = client.wait(snapshot.job_id)
+            finally:
+                rescue.stop()
+                thread.join(timeout=10.0)
+            assert results.snapshot.failed == 0
+            assert len(results.results) == 4
+        finally:
+            server.stop()
+
+
 class TestWorkerCli:
     def test_worker_role_requires_head(self, capsys):
         from repro.cli import main

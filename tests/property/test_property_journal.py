@@ -1,0 +1,218 @@
+"""Property-based tests: journal replay is idempotent.
+
+For any journaled workload (random jobs, lease grants, pushes, failures,
+and releases), recovery must be a pure function of the journal plus the
+artifact cache:
+
+* recovering twice yields exactly the same JobStore state and totals as
+  recovering once;
+* duplicating any suffix of records changes nothing (append retries and
+  crash-replays are harmless);
+* a torn tail changes nothing but the dropped bytes;
+* compacting and then recovering yields the same state as recovering
+  the uncompacted journal.
+
+"State" is a deep fingerprint: every cell's (state, origin, failure
+kind, worker), the queued backlog, open leases with their tokens and
+retry budgets, and the cumulative ``/stats`` totals.
+"""
+
+import asyncio
+import os
+import shutil
+import tempfile
+import warnings
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.journal import JOURNAL_NAME, Journal
+from repro.serve.scheduler import JobStore
+from tests.unit.test_serve_scheduler import make_spec, outcome_for
+
+BENCHMARKS = ("art", "swim", "mgrid", "applu", "apsi", "galgel")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+#: Counters that describe the *recovery pass itself* rather than the
+#: workload; compaction legitimately changes them (fewer records to
+#: replay), so the compaction property compares totals without them.
+RECOVERY_COUNTERS = (
+    "jobs_recovered", "cells_requeued_on_recovery", "leases_restored"
+)
+
+
+def fingerprint(store: JobStore, open_state_only: bool = False) -> tuple:
+    jobs = {}
+    for job_id, job in store._jobs.items():
+        if open_state_only and job.is_done:
+            continue  # compaction forgets done jobs (cache serves them)
+        jobs[job_id] = (
+            job.tenant,
+            job.is_done,
+            tuple(
+                (
+                    cell.spec_hash,
+                    cell.state,
+                    cell.origin,
+                    (cell.error or {}).get("kind"),
+                    cell.worker,
+                )
+                for cell in job.cells
+            ),
+        )
+    leases = {
+        lease_id: (lease.token, lease.worker_id,
+                   tuple(sorted(lease.entries)))
+        for lease_id, lease in store._leases.items()
+    }
+    queued = tuple(sorted(
+        entry.spec_hash
+        for queue in store._queues.values()
+        for entry in queue
+    ))
+    attempts = {
+        spec_hash: entry.worker_attempts
+        for spec_hash, entry in store._inflight.items()
+    }
+    totals = {
+        key: (dict(value) if isinstance(value, dict) else value)
+        for key, value in store.totals.items()
+        if not (open_state_only and key in RECOVERY_COUNTERS)
+    }
+    return jobs, leases, queued, attempts, totals
+
+
+async def build_workload(cache_dir: str, plan: dict) -> None:
+    """Drive a real store through the drawn plan, then drop it."""
+    store = JobStore(
+        workers=0, use_cache=True, cache_dir=cache_dir, lease_ttl_s=60.0
+    )
+    await store.start()
+    try:
+        for benchmarks in plan["jobs"]:
+            await store.submit(
+                [make_spec(benchmark=name) for name in benchmarks],
+                tenant=plan["tenant"],
+            )
+        for action, max_cells in plan["grants"]:
+            lease = store.grant_lease("w1", max_cells=max_cells)
+            if lease is None:
+                continue
+            if action == "push_ok":
+                outcomes = [
+                    outcome_for(entry.spec)
+                    for entry in lease.entries.values()
+                ]
+                store.push_results(
+                    lease.lease_id, lease.token, outcomes, worker_id="w1"
+                )
+            elif action == "push_fail":
+                outcomes = [
+                    outcome_for(entry.spec, error={
+                        "kind": "worker_crash",
+                        "message": "chaos",
+                        "attempts": 1,
+                    })
+                    for entry in lease.entries.values()
+                ]
+                store.push_results(
+                    lease.lease_id, lease.token, outcomes, worker_id="w1"
+                )
+            elif action == "release":
+                store.release_cells(lease.lease_id, lease.token)
+            # "abandon": leave the lease open (a wedged worker)
+    finally:
+        await store.close()
+
+
+async def recover_fingerprint(
+    cache_dir: str,
+    recoveries: int = 1,
+    compact_between: bool = False,
+    open_state_only: bool = False,
+) -> tuple:
+    store = JobStore(
+        workers=0, use_cache=True, cache_dir=cache_dir, lease_ttl_s=60.0
+    )
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)  # torn tails
+            for __ in range(recoveries):
+                store.recover()
+                if compact_between:
+                    store.compact_journal()
+        return fingerprint(store, open_state_only=open_state_only)
+    finally:
+        await store.close()
+
+
+workload = st.fixed_dictionaries({
+    "tenant": st.sampled_from(["a", "b"]),
+    "jobs": st.lists(
+        st.lists(
+            st.sampled_from(BENCHMARKS), min_size=1, max_size=3, unique=True
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    "grants": st.lists(
+        st.tuples(
+            st.sampled_from(["push_ok", "push_fail", "release", "abandon"]),
+            st.integers(min_value=1, max_value=3),
+        ),
+        max_size=4,
+    ),
+})
+
+
+@settings(max_examples=25, deadline=None)
+@given(plan=workload, data=st.data())
+def test_replay_is_idempotent(plan, data):
+    with tempfile.TemporaryDirectory() as root:
+        cache_dir = os.path.join(root, "cache")
+        run(build_workload(cache_dir, plan))
+        journal_file = os.path.join(cache_dir, JOURNAL_NAME)
+        records = Journal(journal_file).load()
+
+        baseline = run(recover_fingerprint(cache_dir))
+
+        # 1. Recovering twice == recovering once.
+        assert run(recover_fingerprint(cache_dir, recoveries=2)) == baseline
+
+        # 2. Duplicated records change nothing.
+        if records:
+            start = data.draw(
+                st.integers(0, len(records) - 1), label="dup_start"
+            )
+            dup_dir = os.path.join(root, "dup")
+            shutil.copytree(cache_dir, dup_dir)
+            Journal(os.path.join(dup_dir, JOURNAL_NAME)).append(
+                *records[start:]
+            )
+            assert run(recover_fingerprint(dup_dir)) == baseline
+
+        # 3. A torn tail is truncated, never applied.
+        torn_dir = os.path.join(root, "torn")
+        shutil.copytree(cache_dir, torn_dir)
+        with open(os.path.join(torn_dir, JOURNAL_NAME), "ab") as handle:
+            handle.write(b'{"rec": "resolve", "ok": true, "cel')
+        assert run(recover_fingerprint(torn_dir)) == baseline
+
+        # 4. Compaction preserves all open state and cumulative totals
+        # (done jobs are deliberately forgotten — the cache serves them).
+        compact_dir = os.path.join(root, "compact")
+        shutil.copytree(cache_dir, compact_dir)
+        open_baseline = run(
+            recover_fingerprint(cache_dir, open_state_only=True)
+        )
+        assert run(
+            recover_fingerprint(
+                compact_dir,
+                recoveries=2,
+                compact_between=True,
+                open_state_only=True,
+            )
+        ) == open_baseline
